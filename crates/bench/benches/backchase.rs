@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks of the backchase strategies (figs. 6–7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cnb_core::prelude::*;
+use cnb_workloads::{Ec1, Ec2, Ec3};
+
+fn cfg(strategy: Strategy) -> OptimizerConfig {
+    OptimizerConfig::with_strategy(strategy).timeout(std::time::Duration::from_secs(30))
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("backchase");
+    g.sample_size(10);
+
+    // EC1 [4,2]: FB exponential, OQF per-loop.
+    let ec1 = Ec1::new(4, 2);
+    let q1 = ec1.query();
+    let opt1 = Optimizer::new(ec1.schema());
+    for strategy in [Strategy::Full, Strategy::Oqf, Strategy::Ocs] {
+        g.bench_with_input(
+            BenchmarkId::new("ec1_4_2", strategy.to_string()),
+            &strategy,
+            |b, &s| b.iter(|| opt1.optimize(&q1, &cfg(s))),
+        );
+    }
+
+    // EC2 [1,4,2]: one star, 4 corners, 2 overlapping views.
+    let ec2 = Ec2::new(1, 4, 2);
+    let q2 = ec2.query();
+    let opt2 = Optimizer::new(ec2.schema());
+    for strategy in [Strategy::Full, Strategy::Oqf, Strategy::Ocs] {
+        g.bench_with_input(
+            BenchmarkId::new("ec2_1_4_2", strategy.to_string()),
+            &strategy,
+            |b, &s| b.iter(|| opt2.optimize(&q2, &cfg(s))),
+        );
+    }
+
+    // EC3 with 4 classes: OCS's linear flipping vs FB.
+    let ec3 = Ec3::new(4, 0);
+    let q3 = ec3.query();
+    let opt3 = Optimizer::new(ec3.schema());
+    for strategy in [Strategy::Full, Strategy::Ocs] {
+        g.bench_with_input(
+            BenchmarkId::new("ec3_4", strategy.to_string()),
+            &strategy,
+            |b, &s| b.iter(|| opt3.optimize(&q3, &cfg(s))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

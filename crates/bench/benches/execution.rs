@@ -1,0 +1,28 @@
+//! Criterion micro-benchmarks of the execution engine: original query vs the
+//! best C&B plan on generated EC2 data (the engine-level view of fig. 9).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cnb_core::prelude::*;
+use cnb_engine::execute;
+use cnb_workloads::{ec2::Ec2DataSpec, Ec2};
+
+fn bench_execution(c: &mut Criterion) {
+    let ec2 = Ec2::new(2, 2, 1);
+    let db = ec2.generate(Ec2DataSpec {
+        rows: 2000,
+        ..Ec2DataSpec::default()
+    });
+    let q = ec2.query();
+    let opt = Optimizer::new(ec2.schema());
+    let res = opt.optimize(&q, &OptimizerConfig::with_strategy(Strategy::Oqf));
+    let best = &res.plans[0].query; // best-first ordering
+    assert!(!res.plans[0].physical_used.is_empty());
+
+    let mut g = c.benchmark_group("execution_ec2_2_2_1");
+    g.bench_function("original_query", |b| b.iter(|| execute(&db, &q).unwrap()));
+    g.bench_function("best_view_plan", |b| b.iter(|| execute(&db, best).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_execution);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! # cnb-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation section (§5), plus
+//! Criterion micro-benchmarks. Each binary prints a markdown table with the
+//! same rows/series the paper reports; EXPERIMENTS.md records the paper-vs-
+//! measured comparison.
+//!
+//! Environment knobs:
+//! * `CNB_TIMEOUT_SECS` — per-optimization wall-clock budget (default 120,
+//!   the paper's 2-minute timeout). Points that exceed it print `—` like the
+//!   paper's "missing bars".
+//! * `CNB_ROWS` — dataset size for execution experiments (default 5000, the
+//!   paper's value).
+
+#![warn(missing_docs)]
+
+use std::time::Duration;
+
+use cnb_core::prelude::*;
+
+/// The per-optimization timeout (paper: 2 minutes).
+pub fn timeout() -> Duration {
+    let secs = std::env::var("CNB_TIMEOUT_SECS")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or(120);
+    Duration::from_secs(secs)
+}
+
+/// Dataset size for execution experiments (paper: 5000).
+pub fn rows() -> usize {
+    std::env::var("CNB_ROWS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(5000)
+}
+
+/// An optimizer config with the harness timeout applied.
+pub fn config(strategy: Strategy) -> OptimizerConfig {
+    OptimizerConfig::with_strategy(strategy).timeout(timeout())
+}
+
+/// Formats a duration in seconds, with enough digits for sub-millisecond
+/// measurements (our chase runs ~1000× faster than the paper's JVM).
+pub fn secs(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 0.01 {
+        format!("{s:.3}")
+    } else {
+        format!("{s:.6}")
+    }
+}
+
+/// Formats an optional measurement; `None` renders as the paper's missing
+/// bar ("—" = timed out).
+pub fn cell(v: Option<String>) -> String {
+    v.unwrap_or_else(|| "—".to_string())
+}
+
+/// Prints a markdown table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}\n");
+    println!("| {} |", header.join(" | "));
+    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for r in rows {
+        println!("| {} |", r.join(" | "));
+    }
+}
+
+/// Runs one optimization, returning `None` on timeout (a "missing bar").
+pub fn run(opt: &Optimizer, q: &cnb_ir::prelude::Query, strategy: Strategy) -> Option<OptimizeResult> {
+    let res = opt.optimize(q, &config(strategy));
+    if res.timed_out {
+        None
+    } else {
+        Some(res)
+    }
+}
+
+/// Time-per-plan in seconds — the paper's normalized §5.3.2 measure.
+pub fn tpp(res: &OptimizeResult) -> f64 {
+    if res.plans.is_empty() {
+        f64::NAN
+    } else {
+        res.total_time.as_secs_f64() / res.plans.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_renders_missing() {
+        assert_eq!(cell(None), "—");
+        assert_eq!(cell(Some("1.0".into())), "1.0");
+    }
+
+    #[test]
+    fn secs_format() {
+        assert_eq!(secs(Duration::from_millis(1500)), "1.500");
+    }
+}

@@ -1,0 +1,419 @@
+//! The backchase — phase 2 of C&B (full implementation, "FB").
+//!
+//! Starting from the universal plan, the backchase walks top-down "removing
+//! one binding at a time and minimizing recursively the subqueries obtained
+//! if they are equivalent" (§4). A subquery with no equivalent single-binding
+//! removal is *minimal* and is emitted as a plan. Visited binding subsets and
+//! equivalence verdicts are memoized so each subquery is examined once.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use cnb_ir::prelude::{Constraint, Query};
+
+use crate::bitset::VarSet;
+use crate::canon::CanonDb;
+use crate::chase::{chase, ChaseConfig, ChaseStats};
+use crate::equivalence::EquivChecker;
+use crate::subquery::{all_bindings, induce_subquery};
+
+/// Backchase limits.
+#[derive(Clone, Debug)]
+pub struct BackchaseConfig {
+    /// Wall-clock budget; `None` = unlimited. The paper used 2 minutes.
+    pub timeout: Option<Duration>,
+    /// Chase limits for the universal plan and the implication chases.
+    pub chase: ChaseConfig,
+    /// Stop after this many plans (safety valve; paper never needed one).
+    pub max_plans: usize,
+}
+
+impl Default for BackchaseConfig {
+    fn default() -> BackchaseConfig {
+        BackchaseConfig {
+            timeout: Some(Duration::from_secs(120)),
+            chase: ChaseConfig::default(),
+            max_plans: 100_000,
+        }
+    }
+}
+
+/// A minimal plan found by the backchase.
+#[derive(Clone, Debug)]
+pub struct Plan {
+    /// The binding subset of the universal plan this plan keeps.
+    pub bindings: VarSet,
+    /// The induced (minimal, equivalent) query.
+    pub query: Query,
+}
+
+/// Result of one backchase run.
+#[derive(Clone, Debug, Default)]
+pub struct BackchaseResult {
+    /// Minimal plans, in discovery order (depth-first: plans using many
+    /// physical structures surface early).
+    pub plans: Vec<Plan>,
+    /// Subqueries explored (equivalence checks performed) — the paper's
+    /// search-space size measure.
+    pub explored: usize,
+    /// Candidates pruned by a cost bound (bottom-up strategy only).
+    pub pruned: usize,
+    /// Universal-plan size (number of bindings).
+    pub universal_arity: usize,
+    /// Chase stats for building the universal plan.
+    pub chase_stats: ChaseStats,
+    /// Time spent chasing the input query into the universal plan.
+    pub chase_time: Duration,
+    /// Time spent in the backchase proper.
+    pub backchase_time: Duration,
+    /// True if the time budget expired before the search finished.
+    pub timed_out: bool,
+}
+
+/// Runs chase + full backchase of `q0` under `constraints`.
+pub fn chase_and_backchase(
+    q0: &Query,
+    constraints: &[Constraint],
+    cfg: &BackchaseConfig,
+) -> BackchaseResult {
+    let start = Instant::now();
+    let mut udb = CanonDb::new(q0.clone());
+    let chase_stats = chase(&mut udb, constraints, cfg.chase);
+    let chase_time = start.elapsed();
+    let mut result = backchase(q0, constraints, udb, cfg);
+    result.chase_stats = chase_stats;
+    result.chase_time = chase_time;
+    result
+}
+
+/// Runs the backchase from an already-chased universal plan.
+pub fn backchase(
+    q0: &Query,
+    constraints: &[Constraint],
+    mut udb: CanonDb,
+    cfg: &BackchaseConfig,
+) -> BackchaseResult {
+    let start = Instant::now();
+    let deadline = cfg.timeout.map(|t| start + t);
+    let mut result = BackchaseResult {
+        universal_arity: udb.query.from.len(),
+        ..BackchaseResult::default()
+    };
+
+    let checker = EquivChecker::new(q0, constraints, cfg.chase);
+    let mut ctx = Search {
+        checker,
+        udb: &mut udb,
+        select: q0.select.clone(),
+        equiv_memo: HashMap::new(),
+        visited: HashSet::new(),
+        plan_keys: HashSet::new(),
+        result: &mut result,
+        deadline,
+        plan_cap: cfg.max_plans,
+    };
+
+    let all = all_bindings(&ctx.udb.query);
+    ctx.explore(&all);
+
+    result.backchase_time = start.elapsed();
+    result
+}
+
+struct Search<'a, 'b> {
+    checker: EquivChecker<'a>,
+    udb: &'b mut CanonDb,
+    select: Vec<(cnb_ir::prelude::Symbol, cnb_ir::prelude::PathExpr)>,
+    /// Equivalence verdict per binding subset.
+    equiv_memo: HashMap<VarSet, bool>,
+    /// Subsets whose children have been expanded.
+    visited: HashSet<VarSet>,
+    /// Canonical keys of emitted plans (deduplication).
+    plan_keys: HashSet<String>,
+    result: &'a mut BackchaseResult,
+    deadline: Option<Instant>,
+    plan_cap: usize,
+}
+
+impl Search<'_, '_> {
+    fn out_of_budget(&mut self) -> bool {
+        if self.result.plans.len() >= self.plan_cap {
+            return true;
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.result.timed_out = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// `s` is known equivalent; expand its children.
+    fn explore(&mut self, s: &VarSet) {
+        if !self.visited.insert(s.clone()) {
+            return;
+        }
+        let mut minimal = true;
+        for v in s.iter().collect::<Vec<_>>() {
+            if self.out_of_budget() {
+                return;
+            }
+            let child = s.without(v);
+            if self.is_equivalent(&child) {
+                minimal = false;
+                self.explore(&child);
+            }
+        }
+        if minimal && !self.out_of_budget() {
+            if let Some(q) = induce_subquery(self.udb, s, &self.select) {
+                // Fast syntactic dedup first; semantic dedup catches plans
+                // whose from-clauses list the same bindings in other orders.
+                let new_key = self.plan_keys.insert(q.canonical_key());
+                if new_key
+                    && !self
+                        .result
+                        .plans
+                        .iter()
+                        .any(|p| crate::equivalence::same_plan(&p.query, &q))
+                {
+                    self.result.plans.push(Plan {
+                        bindings: s.clone(),
+                        query: q,
+                    });
+                }
+            }
+        }
+    }
+
+    fn is_equivalent(&mut self, s: &VarSet) -> bool {
+        if let Some(&v) = self.equiv_memo.get(s) {
+            return v;
+        }
+        self.result.explored += 1;
+        let verdict = match induce_subquery(self.udb, s, &self.select) {
+            None => false,
+            Some(q) => {
+                let (eq, _) = self.checker.equivalent(&q);
+                eq
+            }
+        };
+        self.equiv_memo.insert(s.clone(), verdict);
+        verdict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnb_ir::prelude::*;
+
+    fn plans_of(result: &BackchaseResult) -> Vec<String> {
+        result
+            .plans
+            .iter()
+            .map(|p| {
+                let mut rs: Vec<String> =
+                    p.query.from.iter().map(|b| b.range.to_string()).collect();
+                rs.sort();
+                rs.join(",")
+            })
+            .collect()
+    }
+
+    /// Example 3.1 with n = 1: one relation, one primary index → 2 plans.
+    #[test]
+    fn single_relation_single_index() {
+        let mut schema = Schema::new();
+        schema.add_relation("R1", [(sym("K"), Type::Int), (sym("B"), Type::Int)]);
+        add_primary_index(&mut schema, sym("R1"), sym("K"), "I1");
+        let mut q = Query::new();
+        let r = q.bind("r", Range::Name(sym("R1")));
+        q.output("K", PathExpr::from(r).dot("K"));
+        q.output("B", PathExpr::from(r).dot("B"));
+
+        let res = chase_and_backchase(&q, &schema.all_constraints(), &BackchaseConfig::default());
+        assert_eq!(res.universal_arity, 2);
+        let mut ps = plans_of(&res);
+        ps.sort();
+        assert_eq!(ps, vec!["R1".to_string(), "dom I1".to_string()]);
+        assert!(!res.timed_out);
+    }
+
+    /// Example 3.1: chain of n relations with one index each → 2ⁿ plans.
+    #[test]
+    fn chain_query_plan_count() {
+        for n in 1..=3usize {
+            let mut schema = Schema::new();
+            for i in 1..=n {
+                schema.add_relation(
+                    format!("R{i}"),
+                    [(sym("A"), Type::Int), (sym("B"), Type::Int)],
+                );
+                add_primary_index(&mut schema, sym(&format!("R{i}")), sym("A"), format!("I{i}"));
+            }
+            let mut q = Query::new();
+            let vars: Vec<Var> = (1..=n)
+                .map(|i| q.bind(&format!("r{i}"), Range::Name(sym(&format!("R{i}")))))
+                .collect();
+            for w in vars.windows(2) {
+                q.equate(PathExpr::from(w[0]).dot("B"), PathExpr::from(w[1]).dot("A"));
+            }
+            q.output("A", PathExpr::from(vars[0]).dot("A"));
+            q.output("B", PathExpr::from(vars[n - 1]).dot("B"));
+
+            let res =
+                chase_and_backchase(&q, &schema.all_constraints(), &BackchaseConfig::default());
+            assert_eq!(
+                res.plans.len(),
+                1 << n,
+                "n={n}: expected 2^{n} plans, got {:?}",
+                plans_of(&res)
+            );
+        }
+    }
+
+    /// Join minimization: the redundant half of a self-join is removed and
+    /// only the core remains.
+    #[test]
+    fn minimization_produces_core() {
+        let mut q = Query::new();
+        let r1 = q.bind("r1", Range::Name(sym("R")));
+        let r2 = q.bind("r2", Range::Name(sym("R")));
+        q.equate(PathExpr::from(r1).dot("A"), PathExpr::from(r2).dot("A"));
+        q.output("A", PathExpr::from(r1).dot("A"));
+
+        let res = chase_and_backchase(&q, &[], &BackchaseConfig::default());
+        assert_eq!(res.plans.len(), 1);
+        assert_eq!(res.plans[0].query.from.len(), 1);
+    }
+
+    /// Example 2.2 core claim: with the key constraint, the two-view plan
+    /// {V1, V2} appears; without it, it must not.
+    #[test]
+    fn example22_key_constraint_unlocks_double_view_plan() {
+        fn build(with_key: bool) -> BackchaseResult {
+            let mut schema = Schema::new();
+            schema.add_relation(
+                "R1",
+                [
+                    (sym("K"), Type::Int),
+                    (sym("A1"), Type::Int),
+                    (sym("A2"), Type::Int),
+                    (sym("F"), Type::Int),
+                ],
+            );
+            schema.add_relation(
+                "R2",
+                [
+                    (sym("K"), Type::Int),
+                    (sym("A1"), Type::Int),
+                    (sym("A2"), Type::Int),
+                ],
+            );
+            for rel in ["S11", "S12", "S21", "S22"] {
+                schema.add_relation(rel, [(sym("A"), Type::Int), (sym("B"), Type::Int)]);
+            }
+            for i in 1..=2 {
+                let mut def = Query::new();
+                let r = def.bind("r", Range::Name(sym(&format!("R{i}"))));
+                let s1 = def.bind("s1", Range::Name(sym(&format!("S{i}1"))));
+                let s2 = def.bind("s2", Range::Name(sym(&format!("S{i}2"))));
+                def.equate(PathExpr::from(r).dot("A1"), PathExpr::from(s1).dot("A"));
+                def.equate(PathExpr::from(r).dot("A2"), PathExpr::from(s2).dot("A"));
+                def.output("K", PathExpr::from(r).dot("K"));
+                def.output("B1", PathExpr::from(s1).dot("B"));
+                def.output("B2", PathExpr::from(s2).dot("B"));
+                add_materialized_view(&mut schema, format!("V{i}"), &def);
+            }
+            if with_key {
+                schema.add_constraint(key_constraint(sym("R1"), sym("K")));
+            }
+
+            let mut q = Query::new();
+            let r1 = q.bind("r1", Range::Name(sym("R1")));
+            let s11 = q.bind("s11", Range::Name(sym("S11")));
+            let s12 = q.bind("s12", Range::Name(sym("S12")));
+            let r2 = q.bind("r2", Range::Name(sym("R2")));
+            let s21 = q.bind("s21", Range::Name(sym("S21")));
+            let s22 = q.bind("s22", Range::Name(sym("S22")));
+            q.equate(PathExpr::from(r1).dot("F"), PathExpr::from(r2).dot("K"));
+            q.equate(PathExpr::from(r1).dot("A1"), PathExpr::from(s11).dot("A"));
+            q.equate(PathExpr::from(r1).dot("A2"), PathExpr::from(s12).dot("A"));
+            q.equate(PathExpr::from(r2).dot("A1"), PathExpr::from(s21).dot("A"));
+            q.equate(PathExpr::from(r2).dot("A2"), PathExpr::from(s22).dot("A"));
+            q.output("B11", PathExpr::from(s11).dot("B"));
+            q.output("B12", PathExpr::from(s12).dot("B"));
+            q.output("B21", PathExpr::from(s21).dot("B"));
+            q.output("B22", PathExpr::from(s22).dot("B"));
+
+            chase_and_backchase(&q, &schema.all_constraints(), &BackchaseConfig::default())
+        }
+
+        let with_key = build(true);
+        let keys: Vec<String> = plans_of(&with_key);
+        // Q' (V2 replaces star 2) must always be present.
+        assert!(
+            keys.iter().any(|k| k.contains("V2") && !k.contains("V1")),
+            "{keys:?}"
+        );
+        // Q'' (both views, R1 kept for F) only with the key constraint.
+        assert!(
+            keys.iter().any(|k| k.contains("V1") && k.contains("V2")),
+            "{keys:?}"
+        );
+
+        let without_key = build(false);
+        let keys2 = plans_of(&without_key);
+        assert!(
+            !keys2.iter().any(|k| k.contains("V1") && k.contains("V2")),
+            "without the key, V1+V2 must not be joint: {keys2:?}"
+        );
+    }
+
+    /// The discovery order is depth-first: a plan using the most physical
+    /// structures is found first (paper's "best plan first" observation).
+    #[test]
+    fn physical_plans_surface_first() {
+        let mut schema = Schema::new();
+        schema.add_relation("R1", [(sym("K"), Type::Int), (sym("B"), Type::Int)]);
+        add_primary_index(&mut schema, sym("R1"), sym("K"), "I1");
+        let mut q = Query::new();
+        let r = q.bind("r", Range::Name(sym("R1")));
+        q.output("K", PathExpr::from(r).dot("K"));
+
+        let res = chase_and_backchase(&q, &schema.all_constraints(), &BackchaseConfig::default());
+        assert_eq!(res.plans.len(), 2);
+        // Depth-first from the universal plan removes the *first* binding (r)
+        // first, so the index plan is discovered before the scan plan.
+        assert_eq!(res.plans[0].query.from[0].range, Range::Dom(sym("I1")));
+    }
+
+    /// Timeout produces a partial result with the flag set.
+    #[test]
+    fn timeout_is_reported() {
+        let mut schema = Schema::new();
+        for i in 1..=6 {
+            schema.add_relation(
+                format!("T{i}"),
+                [(sym("A"), Type::Int), (sym("B"), Type::Int)],
+            );
+            add_primary_index(&mut schema, sym(&format!("T{i}")), sym("A"), format!("J{i}"));
+        }
+        let mut q = Query::new();
+        let vars: Vec<Var> = (1..=6)
+            .map(|i| q.bind(&format!("t{i}"), Range::Name(sym(&format!("T{i}")))))
+            .collect();
+        for w in vars.windows(2) {
+            q.equate(PathExpr::from(w[0]).dot("B"), PathExpr::from(w[1]).dot("A"));
+        }
+        q.output("A", PathExpr::from(vars[0]).dot("A"));
+
+        let cfg = BackchaseConfig {
+            timeout: Some(Duration::from_millis(1)),
+            ..BackchaseConfig::default()
+        };
+        let res = chase_and_backchase(&q, &schema.all_constraints(), &cfg);
+        assert!(res.timed_out || res.plans.len() == 64);
+    }
+}

@@ -1,0 +1,212 @@
+//! Compact variable/binding subsets.
+//!
+//! The backchase explores subsets of the universal plan's bindings; subsets
+//! are represented as bitsets over variable ids so that memoization keys are
+//! cheap to hash and compare.
+
+use cnb_ir::prelude::Var;
+use std::fmt;
+
+/// A growable bitset over [`Var`] ids.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct VarSet {
+    words: Vec<u64>,
+}
+
+impl VarSet {
+    /// The empty set.
+    pub fn new() -> VarSet {
+        VarSet::default()
+    }
+
+    /// A set containing the given variables.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter(vars: impl IntoIterator<Item = Var>) -> VarSet {
+        let mut s = VarSet::new();
+        for v in vars {
+            s.insert(v);
+        }
+        s
+    }
+
+    /// Inserts `v`; returns true if it was new.
+    pub fn insert(&mut self, v: Var) -> bool {
+        let (w, b) = (v.index() / 64, v.index() % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] |= 1 << b;
+        !had
+    }
+
+    /// Removes `v`; returns true if it was present.
+    pub fn remove(&mut self, v: Var) -> bool {
+        let (w, b) = (v.index() / 64, v.index() % 64);
+        if w >= self.words.len() {
+            return false;
+        }
+        let had = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        if had {
+            self.normalize();
+        }
+        had
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: Var) -> bool {
+        let (w, b) = (v.index() / 64, v.index() % 64);
+        w < self.words.len() && self.words[w] & (1 << b) != 0
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// True if `self ⊆ other`.
+    pub fn is_subset(&self, other: &VarSet) -> bool {
+        self.words.iter().enumerate().all(|(i, &w)| {
+            let o = other.words.get(i).copied().unwrap_or(0);
+            w & !o == 0
+        })
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &VarSet) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (i, &w) in other.words.iter().enumerate() {
+            self.words[i] |= w;
+        }
+    }
+
+    /// True if the sets share an element.
+    pub fn intersects(&self, other: &VarSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .any(|(&a, &b)| a & b != 0)
+    }
+
+    /// `self` without `v`, as a new set.
+    pub fn without(&self, v: Var) -> VarSet {
+        let mut s = self.clone();
+        s.remove(v);
+        s
+    }
+
+    /// Iterates elements in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = Var> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(Var((wi * 64) as u32 + b))
+            })
+        })
+    }
+
+    fn normalize(&mut self) {
+        while matches!(self.words.last(), Some(0)) {
+            self.words.pop();
+        }
+    }
+}
+
+impl fmt::Debug for VarSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "${}", v.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = VarSet::new();
+        assert!(s.insert(Var(3)));
+        assert!(!s.insert(Var(3)));
+        assert!(s.contains(Var(3)));
+        assert!(!s.contains(Var(4)));
+        assert!(s.remove(Var(3)));
+        assert!(!s.remove(Var(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn large_ids() {
+        let mut s = VarSet::new();
+        s.insert(Var(200));
+        assert!(s.contains(Var(200)));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![Var(200)]);
+    }
+
+    #[test]
+    fn subset_and_union() {
+        let a = VarSet::from_iter([Var(1), Var(2)]);
+        let b = VarSet::from_iter([Var(1), Var(2), Var(70)]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        let mut c = a.clone();
+        c.union_with(&b);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn intersects() {
+        let a = VarSet::from_iter([Var(1)]);
+        let b = VarSet::from_iter([Var(2)]);
+        let c = VarSet::from_iter([Var(1), Var(2)]);
+        assert!(!a.intersects(&b));
+        assert!(a.intersects(&c));
+    }
+
+    #[test]
+    fn equality_is_content_based() {
+        // Trailing zero words must not affect equality.
+        let mut a = VarSet::new();
+        a.insert(Var(100));
+        a.remove(Var(100));
+        assert_eq!(a, VarSet::new());
+    }
+
+    #[test]
+    fn without_is_nonmutating() {
+        let a = VarSet::from_iter([Var(1), Var(2)]);
+        let b = a.without(Var(1));
+        assert!(a.contains(Var(1)));
+        assert!(!b.contains(Var(1)));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn iter_order() {
+        let s = VarSet::from_iter([Var(65), Var(2), Var(64)]);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![Var(2), Var(64), Var(65)]
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! Canonical database representation of a query.
+//!
+//! Following the paper's architecture (§4), a query is compiled into `DB(Q)`:
+//! a term arena plus congruence closure seeded with the from-clause bindings
+//! and the where-clause equalities. Chasing a query and evaluating a
+//! constraint over a small database become the same operation, and equality
+//! implication checks ("does P₁ = P₂ follow from the where clause?") are
+//! union-find lookups.
+
+use cnb_ir::prelude::{Equality, PathExpr, Query, Range, Var};
+
+use crate::congruence::{Congruence, TermId};
+
+/// A query together with its congruence closure.
+#[derive(Clone)]
+pub struct CanonDb {
+    /// The (possibly chased) query. Bindings only grow; where-clause
+    /// equalities are mirrored into the congruence as they are added.
+    pub query: Query,
+    /// The congruence closure over the query's terms.
+    pub cong: Congruence,
+}
+
+impl CanonDb {
+    /// Compiles `query` into its canonical database.
+    pub fn new(query: Query) -> CanonDb {
+        let mut db = CanonDb {
+            query: Query::new(),
+            cong: Congruence::new(),
+        };
+        db.query.reserve_vars(query.var_bound());
+        db.query.select = query.select.clone();
+        for b in &query.from {
+            db.query.from.push(b.clone());
+            db.register_binding_terms(db.query.from.len() - 1);
+        }
+        for eq in &query.where_ {
+            db.assert_equality(eq);
+        }
+        for (_, p) in &query.select {
+            db.cong.intern_path(p);
+        }
+        db
+    }
+
+    fn register_binding_terms(&mut self, idx: usize) {
+        let b = self.query.from[idx].clone();
+        self.cong.intern_path(&PathExpr::Var(b.var));
+        if let Range::Expr(p) = &b.range {
+            self.cong.intern_path(p);
+        }
+    }
+
+    /// Adds a binding (during a chase step), returning its variable.
+    pub fn add_binding(&mut self, name: &str, range: Range) -> Var {
+        let var = self.query.bind(name, range);
+        self.register_binding_terms(self.query.from.len() - 1);
+        var
+    }
+
+    /// Adds `eq` to the where-clause and the congruence.
+    pub fn assert_equality(&mut self, eq: &Equality) {
+        self.query.where_.push(eq.clone());
+        let l = self.cong.intern_path(&eq.lhs);
+        let r = self.cong.intern_path(&eq.rhs);
+        self.cong.merge(l, r);
+    }
+
+    /// Merges two paths in the congruence *without* recording a where-clause
+    /// equality (used for derived equalities that are already implied).
+    pub fn merge_paths(&mut self, lhs: &PathExpr, rhs: &PathExpr) {
+        let l = self.cong.intern_path(lhs);
+        let r = self.cong.intern_path(rhs);
+        self.cong.merge(l, r);
+    }
+
+    /// True if `lhs = rhs` is implied by the where-clause (plus congruence).
+    /// Probe terms are interned in scratch mode so they are not offered as
+    /// rewrite targets later.
+    pub fn implied(&mut self, lhs: &PathExpr, rhs: &PathExpr) -> bool {
+        self.cong.set_scratch_mode(true);
+        let l = self.cong.intern_path(lhs);
+        let r = self.cong.intern_path(rhs);
+        self.cong.set_scratch_mode(false);
+        self.cong.equal(l, r)
+    }
+
+    /// Interns a path in scratch mode and returns its term.
+    pub fn probe_term(&mut self, p: &PathExpr) -> TermId {
+        self.cong.set_scratch_mode(true);
+        let t = self.cong.intern_path(p);
+        self.cong.set_scratch_mode(false);
+        t
+    }
+
+    /// The term of a bound variable.
+    pub fn var_term(&mut self, v: Var) -> TermId {
+        self.cong.intern_path(&PathExpr::Var(v))
+    }
+
+    /// Number of bindings.
+    pub fn arity(&self) -> usize {
+        self.query.from.len()
+    }
+}
+
+/// Substitutes constraint variables through a mapping, leaving unmapped
+/// variables untouched (they must not occur for the result to be meaningful).
+pub fn substitute(p: &PathExpr, map: &std::collections::HashMap<Var, Var>) -> PathExpr {
+    p.map_vars(&mut |v| match map.get(&v) {
+        Some(&w) => PathExpr::Var(w),
+        None => PathExpr::Var(v),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnb_ir::prelude::*;
+
+    fn example_query() -> Query {
+        // select struct(A = r.A) from R r, S s where r.A = s.A and s.B = 3
+        let mut q = Query::new();
+        let r = q.bind("r", Range::Name(sym("R")));
+        let s = q.bind("s", Range::Name(sym("S")));
+        q.equate(PathExpr::from(r).dot("A"), PathExpr::from(s).dot("A"));
+        q.equate(PathExpr::from(s).dot("B"), PathExpr::from(3i64));
+        q.output("A", PathExpr::from(r).dot("A"));
+        q
+    }
+
+    #[test]
+    fn where_equalities_are_implied() {
+        let q = example_query();
+        let r = q.from[0].var;
+        let s = q.from[1].var;
+        let mut db = CanonDb::new(q);
+        assert!(db.implied(&PathExpr::from(r).dot("A"), &PathExpr::from(s).dot("A")));
+        assert!(db.implied(&PathExpr::from(s).dot("B"), &PathExpr::from(3i64)));
+        assert!(!db.implied(&PathExpr::from(r).dot("B"), &PathExpr::from(s).dot("B")));
+    }
+
+    #[test]
+    fn congruence_derives_new_equalities() {
+        // r = s implies r.A = s.A even if never stated.
+        let mut q = Query::new();
+        let r = q.bind("r", Range::Name(sym("R")));
+        let s = q.bind("s", Range::Name(sym("R")));
+        q.equate(PathExpr::from(r), PathExpr::from(s));
+        let mut db = CanonDb::new(q);
+        assert!(db.implied(&PathExpr::from(r).dot("A"), &PathExpr::from(s).dot("A")));
+    }
+
+    #[test]
+    fn transitivity_through_constants() {
+        let mut q = Query::new();
+        let r = q.bind("r", Range::Name(sym("R")));
+        let s = q.bind("s", Range::Name(sym("S")));
+        q.equate(PathExpr::from(r).dot("B"), PathExpr::from(7i64));
+        q.equate(PathExpr::from(s).dot("C"), PathExpr::from(7i64));
+        let mut db = CanonDb::new(q);
+        assert!(db.implied(&PathExpr::from(r).dot("B"), &PathExpr::from(s).dot("C")));
+    }
+
+    #[test]
+    fn add_binding_and_assert() {
+        let q = example_query();
+        let mut db = CanonDb::new(q);
+        let v = db.add_binding("v", Range::Name(sym("V")));
+        let r = db.query.from[0].var;
+        db.assert_equality(&Equality::new(
+            PathExpr::from(v).dot("K"),
+            PathExpr::from(r).dot("A"),
+        ));
+        let s = db.query.from[1].var;
+        assert!(db.implied(&PathExpr::from(v).dot("K"), &PathExpr::from(s).dot("A")));
+        assert_eq!(db.arity(), 3);
+    }
+
+    #[test]
+    fn substitute_maps_vars() {
+        let mut map = std::collections::HashMap::new();
+        map.insert(Var(0), Var(5));
+        let p = PathExpr::from(Var(0)).dot("A");
+        assert_eq!(substitute(&p, &map), PathExpr::from(Var(5)).dot("A"));
+        let q = PathExpr::from(Var(1)).dot("B");
+        assert_eq!(substitute(&q, &map), q);
+    }
+
+    #[test]
+    fn probe_terms_are_scratch() {
+        let q = example_query();
+        let mut db = CanonDb::new(q);
+        let t = db.probe_term(&PathExpr::from(Var(0)).dot("Z"));
+        assert!(db.cong.is_scratch(t));
+        let real = db.var_term(Var(0));
+        assert!(!db.cong.is_scratch(real));
+    }
+}

@@ -1,0 +1,342 @@
+//! The chase — phase 1 of C&B.
+//!
+//! The chase is implemented as an *inflationary procedure that evaluates the
+//! input constraints on the internal representation of the input query*
+//! (paper §3.1): for every homomorphism from a constraint's universal part
+//! into the query, if the existential part cannot be mapped too (the
+//! "triviality" check), the step fires — fresh bindings are added for the
+//! existential variables and the conclusion equalities are asserted. EGDs
+//! (empty existential part) merge congruence classes instead.
+//!
+//! For the paper's class of path-conjunctive constraints the chase terminates
+//! with a universal plan polynomial in the query and constraint sizes; the
+//! step/round caps below are a defensive guard, not an expected exit.
+
+use std::collections::HashSet;
+
+use cnb_ir::prelude::{Constraint, PathExpr, Var};
+
+use crate::canon::{substitute, CanonDb};
+use crate::homomorphism::{find_homs, hom_exists, HomConfig, HomMap};
+
+/// Chase limits.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaseConfig {
+    /// Maximum chase steps applied before giving up.
+    pub max_steps: usize,
+    /// Maximum passes over the constraint set.
+    pub max_rounds: usize,
+}
+
+impl Default for ChaseConfig {
+    fn default() -> ChaseConfig {
+        ChaseConfig {
+            max_steps: 10_000,
+            max_rounds: 64,
+        }
+    }
+}
+
+/// Counters for the experiment harness.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChaseStats {
+    /// TGD/EGD steps actually applied.
+    pub steps_applied: usize,
+    /// Homomorphisms found for universal parts.
+    pub homs_found: usize,
+    /// Steps skipped because the constraint was already satisfied there.
+    pub satisfied_skips: usize,
+    /// Passes over the constraint set.
+    pub rounds: usize,
+    /// True if a cap was hit before reaching a fixpoint.
+    pub truncated: bool,
+}
+
+/// Chases `db` with `constraints` to a fixpoint (or a cap). Returns stats.
+pub fn chase(db: &mut CanonDb, constraints: &[Constraint], cfg: ChaseConfig) -> ChaseStats {
+    let mut stats = ChaseStats::default();
+    // (constraint index, ordered image of universal vars) pairs already
+    // processed — the paper's "ruling out homomorphisms previously used".
+    let mut applied: HashSet<(usize, Vec<Var>)> = HashSet::new();
+
+    for _round in 0..cfg.max_rounds {
+        stats.rounds += 1;
+        let mut progress = false;
+        for (ci, c) in constraints.iter().enumerate() {
+            let (homs, _) = find_homs(db, &c.universal, &c.premise, &HomMap::new(), HomConfig::default());
+            stats.homs_found += homs.len();
+            for h in homs {
+                let key: (usize, Vec<Var>) =
+                    (ci, c.universal.iter().map(|b| h[&b.var]).collect());
+                if applied.contains(&key) {
+                    continue;
+                }
+                if hom_exists(db, &c.existential, &c.conclusion, &h) {
+                    stats.satisfied_skips += 1;
+                    applied.insert(key);
+                    continue;
+                }
+                apply_step(db, c, &h);
+                applied.insert(key);
+                stats.steps_applied += 1;
+                progress = true;
+                if stats.steps_applied >= cfg.max_steps {
+                    stats.truncated = true;
+                    return stats;
+                }
+            }
+        }
+        if !progress {
+            return stats;
+        }
+    }
+    stats.truncated = true;
+    stats
+}
+
+/// Applies one chase step for homomorphism `h` of constraint `c`.
+fn apply_step(db: &mut CanonDb, c: &Constraint, h: &HomMap) {
+    let mut full = h.clone();
+    for b in &c.existential {
+        let range = b.range.map_vars(&mut |v| {
+            PathExpr::Var(*full.get(&v).expect("existential range var must be mapped"))
+        });
+        let fresh_name = format!("{}_{}", b.name, db.query.var_bound());
+        let fresh = db.add_binding(&fresh_name, range);
+        full.insert(b.var, fresh);
+    }
+    for eq in &c.conclusion {
+        let l = substitute(&eq.lhs, &full);
+        let r = substitute(&eq.rhs, &full);
+        db.assert_equality(&cnb_ir::prelude::Equality::new(l, r));
+    }
+}
+
+/// Convenience: compile and chase a query in one call.
+pub fn chase_query(
+    q: &cnb_ir::prelude::Query,
+    constraints: &[Constraint],
+    cfg: ChaseConfig,
+) -> (CanonDb, ChaseStats) {
+    let mut db = CanonDb::new(q.clone());
+    let stats = chase(&mut db, constraints, cfg);
+    (db, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnb_ir::prelude::*;
+
+    /// Example 2.1: chasing with the RIC introduces the join with S.
+    #[test]
+    fn ric_adds_binding() {
+        let mut q = Query::new();
+        let r = q.bind("r", Range::Name(sym("R")));
+        q.output("A", PathExpr::from(r).dot("A"));
+
+        let mut ric = Constraint::new("RIC");
+        let cr = ric.forall("r", Range::Name(sym("R")));
+        let cs = ric.exists("s", Range::Name(sym("S")));
+        ric.then(PathExpr::from(cr).dot("A"), PathExpr::from(cs).dot("A"));
+
+        let (db, stats) = chase_query(&q, &[ric], ChaseConfig::default());
+        assert_eq!(stats.steps_applied, 1);
+        assert!(!stats.truncated);
+        assert_eq!(db.query.from.len(), 2);
+        assert_eq!(db.query.from[1].range, Range::Name(sym("S")));
+        // And the conclusion equality holds.
+        let s = db.query.from[1].var;
+        let mut db = db;
+        assert!(db.implied(&PathExpr::from(r).dot("A"), &PathExpr::from(s).dot("A")));
+    }
+
+    /// Chasing twice with the same constraint must not duplicate bindings.
+    #[test]
+    fn chase_is_idempotent() {
+        let mut q = Query::new();
+        q.bind("r", Range::Name(sym("R")));
+
+        let mut ric = Constraint::new("RIC");
+        let cr = ric.forall("r", Range::Name(sym("R")));
+        let cs = ric.exists("s", Range::Name(sym("S")));
+        ric.then(PathExpr::from(cr).dot("A"), PathExpr::from(cs).dot("A"));
+
+        let (db, _) = chase_query(&q, &[ric.clone(), ric.clone()], ChaseConfig::default());
+        assert_eq!(db.query.from.len(), 2, "second application is trivial");
+    }
+
+    /// A query that already satisfies the constraint is left unchanged.
+    #[test]
+    fn satisfied_constraint_is_noop() {
+        let mut q = Query::new();
+        let r = q.bind("r", Range::Name(sym("R")));
+        let s = q.bind("s", Range::Name(sym("S")));
+        q.equate(PathExpr::from(r).dot("A"), PathExpr::from(s).dot("A"));
+
+        let mut ric = Constraint::new("RIC");
+        let cr = ric.forall("r", Range::Name(sym("R")));
+        let cs = ric.exists("s", Range::Name(sym("S")));
+        ric.then(PathExpr::from(cr).dot("A"), PathExpr::from(cs).dot("A"));
+
+        let (db, stats) = chase_query(&q, &[ric], ChaseConfig::default());
+        assert_eq!(stats.steps_applied, 0);
+        assert_eq!(stats.satisfied_skips, 1);
+        assert_eq!(db.query.from.len(), 2);
+    }
+
+    /// EGDs merge variables: a key constraint collapses two bindings with
+    /// equal keys.
+    #[test]
+    fn key_constraint_merges() {
+        let mut q = Query::new();
+        let r1 = q.bind("r1", Range::Name(sym("R")));
+        let r2 = q.bind("r2", Range::Name(sym("R")));
+        q.equate(PathExpr::from(r1).dot("K"), PathExpr::from(r2).dot("K"));
+
+        let key = key_constraint(sym("R"), sym("K"));
+        let (mut db, stats) = chase_query(&q, &[key], ChaseConfig::default());
+        assert!(stats.steps_applied >= 1);
+        assert!(db.implied(&PathExpr::from(r1), &PathExpr::from(r2)));
+        assert!(
+            db.implied(&PathExpr::from(r1).dot("B"), &PathExpr::from(r2).dot("B")),
+            "congruence must propagate r1 = r2 to fields"
+        );
+    }
+
+    /// Chasing the Example 2.2 query with both view constraints yields the
+    /// universal plan with V1 and V2.
+    #[test]
+    fn views_produce_universal_plan() {
+        let mut schema = Schema::new();
+        let b_attrs = |extra: &[(&str, Type)]| {
+            let mut v = vec![(sym("A1"), Type::Int), (sym("A2"), Type::Int)];
+            for (n, t) in extra {
+                v.push((sym(n), t.clone()));
+            }
+            v
+        };
+        schema.add_relation(
+            "R1",
+            b_attrs(&[("K", Type::Int), ("F", Type::Int)]),
+        );
+        schema.add_relation("R2", b_attrs(&[("K", Type::Int)]));
+        for rel in ["S11", "S12", "S21", "S22"] {
+            schema.add_relation(rel, [(sym("A"), Type::Int), (sym("B"), Type::Int)]);
+        }
+        // V_i joins R_i with S_i1, S_i2.
+        for i in 1..=2 {
+            let mut def = Query::new();
+            let r = def.bind("r", Range::Name(sym(&format!("R{i}"))));
+            let s1 = def.bind("s1", Range::Name(sym(&format!("S{i}1"))));
+            let s2 = def.bind("s2", Range::Name(sym(&format!("S{i}2"))));
+            def.equate(PathExpr::from(r).dot("A1"), PathExpr::from(s1).dot("A"));
+            def.equate(PathExpr::from(r).dot("A2"), PathExpr::from(s2).dot("A"));
+            def.output("K", PathExpr::from(r).dot("K"));
+            def.output("B1", PathExpr::from(s1).dot("B"));
+            def.output("B2", PathExpr::from(s2).dot("B"));
+            add_materialized_view(&mut schema, format!("V{i}"), &def);
+        }
+
+        // Q: the foreign-key join across the whole database.
+        let mut q = Query::new();
+        let r1 = q.bind("r1", Range::Name(sym("R1")));
+        let s11 = q.bind("s11", Range::Name(sym("S11")));
+        let s12 = q.bind("s12", Range::Name(sym("S12")));
+        let r2 = q.bind("r2", Range::Name(sym("R2")));
+        let s21 = q.bind("s21", Range::Name(sym("S21")));
+        let s22 = q.bind("s22", Range::Name(sym("S22")));
+        q.equate(PathExpr::from(r1).dot("F"), PathExpr::from(r2).dot("K"));
+        q.equate(PathExpr::from(r1).dot("A1"), PathExpr::from(s11).dot("A"));
+        q.equate(PathExpr::from(r1).dot("A2"), PathExpr::from(s12).dot("A"));
+        q.equate(PathExpr::from(r2).dot("A1"), PathExpr::from(s21).dot("A"));
+        q.equate(PathExpr::from(r2).dot("A2"), PathExpr::from(s22).dot("A"));
+        q.output("B11", PathExpr::from(s11).dot("B"));
+        q.output("B12", PathExpr::from(s12).dot("B"));
+        q.output("B21", PathExpr::from(s21).dot("B"));
+        q.output("B22", PathExpr::from(s22).dot("B"));
+
+        let constraints = schema.all_constraints();
+        let (db, stats) = chase_query(&q, &constraints, ChaseConfig::default());
+        assert!(!stats.truncated);
+        // Universal plan: 6 original bindings + v1 + v2.
+        assert_eq!(db.query.from.len(), 8);
+        let ranges: Vec<String> = db.query.from.iter().map(|b| b.range.to_string()).collect();
+        assert!(ranges.contains(&"V1".to_string()), "{ranges:?}");
+        assert!(ranges.contains(&"V2".to_string()), "{ranges:?}");
+    }
+
+    /// Primary-index constraints add the dom binding; the lookup path becomes
+    /// equal to the tuple variable.
+    #[test]
+    fn primary_index_chase() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", [(sym("K"), Type::Int), (sym("N"), Type::Int)]);
+        add_primary_index(&mut schema, sym("R"), sym("K"), "PI");
+
+        let mut q = Query::new();
+        let r = q.bind("r", Range::Name(sym("R")));
+        q.output("K", PathExpr::from(r).dot("K"));
+
+        let (mut db, stats) = chase_query(&q, &schema.all_constraints(), ChaseConfig::default());
+        assert!(!stats.truncated);
+        assert_eq!(db.query.from.len(), 2);
+        let k = db.query.from[1].var;
+        assert_eq!(db.query.from[1].range, Range::Dom(sym("PI")));
+        assert!(db.implied(&PathExpr::from(k), &PathExpr::from(r).dot("K")));
+        assert!(db.implied(
+            &PathExpr::from(k).lookup_in("PI"),
+            &PathExpr::from(r)
+        ));
+        // Congruence: PI[k].K = r.K too.
+        assert!(db.implied(
+            &PathExpr::from(k).lookup_in("PI").dot("K"),
+            &PathExpr::from(r).dot("K")
+        ));
+    }
+
+    /// Inverse relationships (Example 3.3): chasing the navigation query
+    /// flips directions by adding the P-side bindings.
+    #[test]
+    fn inverse_relationship_chase() {
+        let [inv_n, inv_p] = inverse_relationship(sym("M1"), sym("M2"), sym("N"), sym("P"));
+        let mut q = Query::new();
+        let k1 = q.bind("k1", Range::Dom(sym("M1")));
+        let o1 = q.bind(
+            "o1",
+            Range::Expr(PathExpr::from(k1).lookup_in("M1").dot("N")),
+        );
+        q.output("F", PathExpr::from(k1));
+        q.output("L", PathExpr::from(o1));
+
+        let (db, stats) = chase_query(&q, &[inv_n, inv_p], ChaseConfig::default());
+        assert!(!stats.truncated);
+        // Chase adds k2 in dom M2 and o2 in M2[k2].P with k2 = o1, o2 = k1.
+        assert_eq!(db.query.from.len(), 4);
+        assert_eq!(db.query.from[2].range, Range::Dom(sym("M2")));
+        let k2 = db.query.from[2].var;
+        let o2 = db.query.from[3].var;
+        let mut db = db;
+        assert!(db.implied(&PathExpr::from(k2), &PathExpr::from(o1)));
+        assert!(db.implied(&PathExpr::from(o2), &PathExpr::from(k1)));
+    }
+
+    /// The step cap truncates a pathological self-feeding chase.
+    #[test]
+    fn runaway_chase_truncates() {
+        // forall (r in R) exists (s in R) s.P = r.K — keeps generating.
+        let mut c = Constraint::new("runaway");
+        let r = c.forall("r", Range::Name(sym("R")));
+        let s = c.exists("s", Range::Name(sym("R")));
+        c.then(PathExpr::from(s).dot("P"), PathExpr::from(r).dot("K"));
+        let mut q = Query::new();
+        q.bind("r0", Range::Name(sym("R")));
+        let cfg = ChaseConfig {
+            max_steps: 25,
+            max_rounds: 64,
+        };
+        let (_, stats) = chase_query(&q, &[c], cfg);
+        assert!(stats.truncated);
+        assert_eq!(stats.steps_applied, 25);
+    }
+}

@@ -1,0 +1,810 @@
+//! Congruence closure over path terms.
+//!
+//! The paper's prototype compiles queries and constraints into "a congruence
+//! closure based canonical database representation … that allows for fast
+//! reasoning about equality" (§4), a variation of Nelson–Oppen union/find
+//! [25]. This module is that structure.
+//!
+//! Terms are hash-consed path expressions: variables, constants, field
+//! projections, dictionary lookups and struct constructors. The closure
+//! maintains:
+//!
+//! * **upward congruence** — if `a ≡ b` then `a.A ≡ b.A` and `M[a] ≡ M[b]`
+//!   (for the parent terms that exist in the arena), and
+//! * **downward struct injectivity** — if `struct(A=x,…) ≡ struct(A=y,…)`
+//!   then `x ≡ y` (records are equal iff their fields are), which is what
+//!   lets a composite-index key `k = struct(A=r.A, B=b, C=c)` propagate
+//!   equalities onto its components.
+
+use std::collections::HashMap;
+
+use cnb_ir::prelude::{PathExpr, Symbol, Value, Var};
+
+use crate::bitset::VarSet;
+
+/// Handle to a hash-consed term.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TermId(u32);
+
+impl TermId {
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One node of the term arena. Children are *original* (non-canonical) ids.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum TermNode {
+    /// A variable.
+    Var(Var),
+    /// A constant.
+    Const(Value),
+    /// `base.field`
+    Field(TermId, Symbol),
+    /// `dict[key]`
+    Lookup(Symbol, TermId),
+    /// `struct(f = t, ...)`
+    Struct(Vec<(Symbol, TermId)>),
+}
+
+/// Canonical signature of a composite node: like [`TermNode`] but with
+/// canonicalized children. Two live terms with equal signatures are congruent.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum Sig {
+    Field(TermId, Symbol),
+    Lookup(Symbol, TermId),
+    Struct(Vec<(Symbol, TermId)>),
+}
+
+/// Union-find with congruence over the term arena.
+#[derive(Clone, Default)]
+pub struct Congruence {
+    nodes: Vec<TermNode>,
+    /// Hash-consing of exact nodes.
+    intern: HashMap<TermNode, TermId>,
+    /// Union-find parent pointers.
+    parent: Vec<TermId>,
+    /// Class member lists (only reps have non-empty lists).
+    members: Vec<Vec<TermId>>,
+    /// Parent terms that have a child in this class (only reps maintained).
+    uses: Vec<Vec<TermId>>,
+    /// Canonical-signature table for congruence detection.
+    sigs: HashMap<Sig, TermId>,
+    /// Variable support of each term (all vars occurring in it).
+    support: Vec<VarSet>,
+    /// Whether the term was created during scratch reasoning (homomorphism
+    /// probes) rather than from the query/chase itself.
+    scratch: Vec<bool>,
+    /// Scratch mode flag for new terms.
+    scratch_mode: bool,
+    /// Set when two distinct constants are merged.
+    inconsistent: bool,
+    /// Pending congruence merges.
+    worklist: Vec<(TermId, TermId)>,
+    /// Term lookup for variables (vars are the most common roots).
+    var_terms: HashMap<Var, TermId>,
+}
+
+impl Congruence {
+    /// An empty congruence.
+    pub fn new() -> Congruence {
+        Congruence::default()
+    }
+
+    /// Switches scratch mode; terms interned while on are marked scratch and
+    /// excluded from closure enumeration ([`Congruence::class_paths_over`]).
+    pub fn set_scratch_mode(&mut self, on: bool) {
+        self.scratch_mode = on;
+    }
+
+    /// True if an equality between distinct constants was derived.
+    pub fn is_inconsistent(&self) -> bool {
+        self.inconsistent
+    }
+
+    /// Number of terms in the arena.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Interns a node, returning its term id (allocating if new and merging
+    /// with any congruent existing term).
+    pub fn term(&mut self, node: TermNode) -> TermId {
+        if let TermNode::Var(v) = node {
+            if let Some(&t) = self.var_terms.get(&v) {
+                // Promote: a term re-interned outside scratch mode is real,
+                // even if a scratch probe created it first.
+                if !self.scratch_mode {
+                    self.scratch[t.idx()] = false;
+                }
+                return t;
+            }
+        }
+        if let Some(&t) = self.intern.get(&node) {
+            if !self.scratch_mode {
+                self.scratch[t.idx()] = false;
+            }
+            return t;
+        }
+        let id = TermId(u32::try_from(self.nodes.len()).expect("term arena overflow"));
+        // Compute support and register with children.
+        let mut support = VarSet::new();
+        match &node {
+            TermNode::Var(v) => {
+                support.insert(*v);
+            }
+            TermNode::Const(_) => {}
+            TermNode::Field(base, _) => support.union_with(&self.support[base.idx()]),
+            TermNode::Lookup(_, key) => support.union_with(&self.support[key.idx()]),
+            TermNode::Struct(fields) => {
+                for (_, t) in fields {
+                    support.union_with(&self.support[t.idx()]);
+                }
+            }
+        }
+        self.nodes.push(node.clone());
+        self.intern.insert(node.clone(), id);
+        self.parent.push(id);
+        self.members.push(vec![id]);
+        self.uses.push(Vec::new());
+        self.support.push(support);
+        self.scratch.push(self.scratch_mode);
+        if let TermNode::Var(v) = node {
+            self.var_terms.insert(v, id);
+        }
+        // Register in children's use lists and check congruence.
+        match &node {
+            TermNode::Field(base, _) => {
+                let r = self.find(*base);
+                self.uses[r.idx()].push(id);
+            }
+            TermNode::Lookup(_, key) => {
+                let r = self.find(*key);
+                self.uses[r.idx()].push(id);
+            }
+            TermNode::Struct(fields) => {
+                for (_, t) in fields.clone() {
+                    let r = self.find(t);
+                    self.uses[r.idx()].push(id);
+                }
+            }
+            _ => {}
+        }
+        if let Some(sig) = self.signature(id) {
+            if let Some(&other) = self.sigs.get(&sig) {
+                self.worklist.push((id, other));
+            } else {
+                self.sigs.insert(sig, id);
+            }
+        }
+        // Projection over constructor: a fresh `base.f` term where `base`'s
+        // class contains `struct(..., f = c, ...)` is equal to `c`.
+        if let TermNode::Field(base, f) = &self.nodes[id.idx()] {
+            let (base, f) = (*base, *f);
+            let rep = self.find(base);
+            for m in self.members[rep.idx()].clone() {
+                if let TermNode::Struct(fields) = &self.nodes[m.idx()] {
+                    if let Some((_, child)) = fields.iter().find(|(n, _)| *n == f) {
+                        self.worklist.push((id, *child));
+                    }
+                }
+            }
+        }
+        self.drain_worklist();
+        id
+    }
+
+    /// Interns a path expression.
+    pub fn intern_path(&mut self, p: &PathExpr) -> TermId {
+        match p {
+            PathExpr::Var(v) => self.term(TermNode::Var(*v)),
+            PathExpr::Const(c) => self.term(TermNode::Const(c.clone())),
+            PathExpr::Field(base, f) => {
+                let b = self.intern_path(base);
+                self.term(TermNode::Field(b, *f))
+            }
+            PathExpr::Lookup(dict, key) => {
+                let k = self.intern_path(key);
+                self.term(TermNode::Lookup(*dict, k))
+            }
+            PathExpr::MkStruct(fields) => {
+                let ts: Vec<(Symbol, TermId)> = fields
+                    .iter()
+                    .map(|(name, p)| (*name, self.intern_path(p)))
+                    .collect();
+                self.term(TermNode::Struct(ts))
+            }
+        }
+    }
+
+    /// Canonical representative of `t`'s class (with path compression).
+    pub fn find(&mut self, t: TermId) -> TermId {
+        let mut root = t;
+        while self.parent[root.idx()] != root {
+            root = self.parent[root.idx()];
+        }
+        // Path compression.
+        let mut cur = t;
+        while self.parent[cur.idx()] != root {
+            let next = self.parent[cur.idx()];
+            self.parent[cur.idx()] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Representative without mutation (no compression).
+    pub fn find_ref(&self, t: TermId) -> TermId {
+        let mut root = t;
+        while self.parent[root.idx()] != root {
+            root = self.parent[root.idx()];
+        }
+        root
+    }
+
+    /// True if the two terms are provably equal.
+    pub fn equal(&mut self, a: TermId, b: TermId) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Asserts `a = b` and propagates congruence.
+    pub fn merge(&mut self, a: TermId, b: TermId) {
+        self.worklist.push((a, b));
+        self.drain_worklist();
+    }
+
+    fn drain_worklist(&mut self) {
+        while let Some((a, b)) = self.worklist.pop() {
+            self.union_once(a, b);
+        }
+    }
+
+    fn union_once(&mut self, a: TermId, b: TermId) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        // Union by size.
+        let (big, small) = if self.members[ra.idx()].len() >= self.members[rb.idx()].len() {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small.idx()] = big;
+
+        // Constant-conflict detection.
+        let const_of = |this: &Congruence, rep: TermId| -> Option<Value> {
+            this.members[rep.idx()].iter().find_map(|&m| {
+                if let TermNode::Const(c) = &this.nodes[m.idx()] {
+                    Some(c.clone())
+                } else {
+                    None
+                }
+            })
+        };
+        if let (Some(ca), Some(cb)) = (const_of(self, big), const_of(self, small)) {
+            if ca != cb {
+                self.inconsistent = true;
+            }
+        }
+
+        // Downward struct injectivity: pair struct members across the two
+        // classes with identical field-name lists.
+        let structs_of = |this: &Congruence, rep: TermId| -> Vec<Vec<(Symbol, TermId)>> {
+            this.members[rep.idx()]
+                .iter()
+                .filter_map(|&m| {
+                    if let TermNode::Struct(fs) = &this.nodes[m.idx()] {
+                        Some(fs.clone())
+                    } else {
+                        None
+                    }
+                })
+                .collect()
+        };
+        let sa = structs_of(self, big);
+        let sb = structs_of(self, small);
+        for fa in &sa {
+            for fb in &sb {
+                if fa.len() == fb.len() && fa.iter().zip(fb).all(|((n1, _), (n2, _))| n1 == n2) {
+                    for ((_, t1), (_, t2)) in fa.iter().zip(fb) {
+                        self.worklist.push((*t1, *t2));
+                    }
+                }
+            }
+        }
+
+        // Merge member and use lists.
+        let small_members = std::mem::take(&mut self.members[small.idx()]);
+        self.members[big.idx()].extend(small_members);
+        let small_uses = std::mem::take(&mut self.uses[small.idx()]);
+
+        // Re-signature the parents of the absorbed class.
+        for p in &small_uses {
+            if let Some(sig) = self.signature(*p) {
+                if let Some(&other) = self.sigs.get(&sig) {
+                    if self.find_ref(other) != self.find_ref(*p) {
+                        self.worklist.push((*p, other));
+                    }
+                } else {
+                    self.sigs.insert(sig, *p);
+                }
+            }
+        }
+        self.uses[big.idx()].extend(small_uses);
+
+        // Projection over constructor across the merged class: every
+        // `x.f` parent whose base is in this class equals the `f`-child of
+        // every struct member of the class.
+        let structs: Vec<Vec<(Symbol, TermId)>> = self.members[big.idx()]
+            .iter()
+            .filter_map(|&m| match &self.nodes[m.idx()] {
+                TermNode::Struct(fs) => Some(fs.clone()),
+                _ => None,
+            })
+            .collect();
+        if !structs.is_empty() {
+            let parents = self.uses[big.idx()].clone();
+            for p in parents {
+                if let TermNode::Field(base, f) = &self.nodes[p.idx()] {
+                    let (base, f) = (*base, *f);
+                    if self.find_ref(base) == big {
+                        for fs in &structs {
+                            if let Some((_, child)) = fs.iter().find(|(n, _)| *n == f) {
+                                self.worklist.push((p, *child));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Canonical signature of a composite term (None for vars/consts).
+    fn signature(&mut self, t: TermId) -> Option<Sig> {
+        let node = self.nodes[t.idx()].clone();
+        match node {
+            TermNode::Var(_) | TermNode::Const(_) => None,
+            TermNode::Field(base, f) => Some(Sig::Field(self.find(base), f)),
+            TermNode::Lookup(dict, key) => Some(Sig::Lookup(dict, self.find(key))),
+            TermNode::Struct(fields) => Some(Sig::Struct(
+                fields.into_iter().map(|(n, c)| (n, self.find(c))).collect(),
+            )),
+        }
+    }
+
+    /// The node of a term.
+    pub fn node(&self, t: TermId) -> &TermNode {
+        &self.nodes[t.idx()]
+    }
+
+    /// The variable support of a term.
+    pub fn support(&self, t: TermId) -> &VarSet {
+        &self.support[t.idx()]
+    }
+
+    /// True if the term was interned during scratch reasoning.
+    pub fn is_scratch(&self, t: TermId) -> bool {
+        self.scratch[t.idx()]
+    }
+
+    /// Reconstructs the exact path expression of a term.
+    pub fn path_of(&self, t: TermId) -> PathExpr {
+        match &self.nodes[t.idx()] {
+            TermNode::Var(v) => PathExpr::Var(*v),
+            TermNode::Const(c) => PathExpr::Const(c.clone()),
+            TermNode::Field(base, f) => self.path_of(*base).dot(*f),
+            TermNode::Lookup(dict, key) => {
+                PathExpr::Lookup(*dict, Box::new(self.path_of(*key)))
+            }
+            TermNode::Struct(fields) => PathExpr::MkStruct(
+                fields
+                    .iter()
+                    .map(|(n, c)| (*n, self.path_of(*c)))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Size (node count) of a term, for choosing small representatives.
+    pub fn term_size(&self, t: TermId) -> usize {
+        match &self.nodes[t.idx()] {
+            TermNode::Var(_) | TermNode::Const(_) => 1,
+            TermNode::Field(base, _) => 1 + self.term_size(*base),
+            TermNode::Lookup(_, key) => 1 + self.term_size(*key),
+            TermNode::Struct(fields) => {
+                1 + fields.iter().map(|(_, c)| self.term_size(*c)).sum::<usize>()
+            }
+        }
+    }
+
+    /// All current class representatives.
+    pub fn class_reps(&mut self) -> Vec<TermId> {
+        (0..self.nodes.len() as u32)
+            .map(TermId)
+            .filter(|t| self.find_ref(*t) == *t)
+            .collect()
+    }
+
+    /// Members of the class of `t`.
+    pub fn class_members(&mut self, t: TermId) -> Vec<TermId> {
+        let r = self.find(t);
+        self.members[r.idx()].clone()
+    }
+
+    /// Non-scratch members of `t`'s class whose variable support is a subset
+    /// of `allowed`, smallest terms first. This is the key operation of
+    /// subquery induction: "find an equal path using only kept variables".
+    pub fn class_paths_over(&mut self, t: TermId, allowed: &VarSet) -> Vec<TermId> {
+        let r = self.find(t);
+        let mut out: Vec<TermId> = self.members[r.idx()]
+            .iter()
+            .copied()
+            .filter(|m| !self.scratch[m.idx()] && self.support[m.idx()].is_subset(allowed))
+            .collect();
+        out.sort_by_key(|&m| (self.term_size(m), m));
+        out
+    }
+
+    /// An equal non-scratch term over `allowed`, if one exists or can be
+    /// *constructed*: when no existing class member qualifies, composite
+    /// members are rewritten child-wise (e.g. `M[k'].P` becomes `M[k].P` when
+    /// `k' ≡ k`), interning the constructed term — which is sound because
+    /// congruence immediately merges it back into the class.
+    pub fn rewrite_over(&mut self, t: TermId, allowed: &VarSet) -> Option<TermId> {
+        let mut seen = Vec::new();
+        self.rewrite_rec(t, allowed, &mut seen)
+    }
+
+    fn rewrite_rec(
+        &mut self,
+        t: TermId,
+        allowed: &VarSet,
+        seen: &mut Vec<TermId>,
+    ) -> Option<TermId> {
+        // Fast path: an existing member already qualifies.
+        if let Some(m) = self.class_paths_over(t, allowed).into_iter().next() {
+            return Some(m);
+        }
+        let rep = self.find(t);
+        if seen.contains(&rep) {
+            return None;
+        }
+        seen.push(rep);
+        // Try to rebuild a composite member from rewritten children.
+        let members = self.class_members(rep);
+        let mut result = None;
+        for m in members {
+            if self.scratch[m.idx()] {
+                continue;
+            }
+            if let Some(r) = self.rebuild_member(m, allowed, seen) {
+                result = Some(r);
+                break;
+            }
+        }
+        seen.pop();
+        result
+    }
+
+    /// Attempts to rebuild one composite member over `allowed` by rewriting
+    /// its children; the rebuilt term is interned (and merged back into the
+    /// class by congruence) and promoted to non-scratch.
+    fn rebuild_member(
+        &mut self,
+        m: TermId,
+        allowed: &VarSet,
+        seen: &mut Vec<TermId>,
+    ) -> Option<TermId> {
+        let node = self.nodes[m.idx()].clone();
+        let rebuilt = match node {
+            TermNode::Var(_) | TermNode::Const(_) => None,
+            TermNode::Field(base, f) => self
+                .rewrite_rec(base, allowed, seen)
+                .map(|b| self.term(TermNode::Field(b, f))),
+            TermNode::Lookup(dict, key) => self
+                .rewrite_rec(key, allowed, seen)
+                .map(|k| self.term(TermNode::Lookup(dict, k))),
+            TermNode::Struct(fields) => {
+                let mut out = Vec::with_capacity(fields.len());
+                let mut ok = true;
+                for (name, c) in fields {
+                    match self.rewrite_rec(c, allowed, seen) {
+                        Some(c2) => out.push((name, c2)),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    Some(self.term(TermNode::Struct(out)))
+                } else {
+                    None
+                }
+            }
+        };
+        let r = rebuilt?;
+        if self.support(r).is_subset(allowed) {
+            // The rebuilt term is derived from non-scratch members: promote
+            // it even if a scratch probe interned it first.
+            self.scratch[r.idx()] = false;
+            Some(r)
+        } else {
+            None
+        }
+    }
+
+    /// Saturates `t`'s class with constructible representatives over
+    /// `allowed`: every member that is not already expressible gets one
+    /// attempt at child-wise reconstruction. After saturation,
+    /// [`Congruence::class_paths_over`] enumerates the full restriction of
+    /// the class — which is what subquery induction needs to keep join
+    /// conditions like `I[k].B = r2.A` alive when `r1` is removed.
+    pub fn saturate_class_over(&mut self, t: TermId, allowed: &VarSet) {
+        let rep = self.find(t);
+        let members = self.class_members(rep);
+        for m in members {
+            if self.scratch[m.idx()] || self.support[m.idx()].is_subset(allowed) {
+                continue;
+            }
+            let mut seen = vec![];
+            let _ = self.rebuild_member(m, allowed, &mut seen);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnb_ir::prelude::sym;
+
+    fn var(c: &mut Congruence, i: u32) -> TermId {
+        c.term(TermNode::Var(Var(i)))
+    }
+
+    #[test]
+    fn hashconsing() {
+        let mut c = Congruence::new();
+        let a = var(&mut c, 0);
+        let b = var(&mut c, 0);
+        assert_eq!(a, b);
+        let f1 = c.term(TermNode::Field(a, sym("A")));
+        let f2 = c.term(TermNode::Field(b, sym("A")));
+        assert_eq!(f1, f2);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn basic_union() {
+        let mut c = Congruence::new();
+        let x = var(&mut c, 0);
+        let y = var(&mut c, 1);
+        assert!(!c.equal(x, y));
+        c.merge(x, y);
+        assert!(c.equal(x, y));
+    }
+
+    #[test]
+    fn upward_congruence_field() {
+        let mut c = Congruence::new();
+        let x = var(&mut c, 0);
+        let y = var(&mut c, 1);
+        let xa = c.term(TermNode::Field(x, sym("A")));
+        let ya = c.term(TermNode::Field(y, sym("A")));
+        assert!(!c.equal(xa, ya));
+        c.merge(x, y);
+        assert!(c.equal(xa, ya), "x = y must imply x.A = y.A");
+    }
+
+    #[test]
+    fn upward_congruence_after_the_fact() {
+        // Parent terms created *after* the merge must also be congruent.
+        let mut c = Congruence::new();
+        let x = var(&mut c, 0);
+        let y = var(&mut c, 1);
+        c.merge(x, y);
+        let xa = c.term(TermNode::Field(x, sym("A")));
+        let ya = c.term(TermNode::Field(y, sym("A")));
+        assert!(c.equal(xa, ya));
+    }
+
+    #[test]
+    fn upward_congruence_lookup() {
+        let mut c = Congruence::new();
+        let x = var(&mut c, 0);
+        let y = var(&mut c, 1);
+        let lx = c.term(TermNode::Lookup(sym("I"), x));
+        let ly = c.term(TermNode::Lookup(sym("I"), y));
+        c.merge(x, y);
+        assert!(c.equal(lx, ly));
+    }
+
+    #[test]
+    fn transitive_chains() {
+        let mut c = Congruence::new();
+        let ts: Vec<TermId> = (0..10).map(|i| var(&mut c, i)).collect();
+        for w in ts.windows(2) {
+            c.merge(w[0], w[1]);
+        }
+        assert!(c.equal(ts[0], ts[9]));
+    }
+
+    #[test]
+    fn struct_injectivity() {
+        let mut c = Congruence::new();
+        let x = var(&mut c, 0);
+        let y = var(&mut c, 1);
+        let sx = c.term(TermNode::Struct(vec![(sym("A"), x)]));
+        let sy = c.term(TermNode::Struct(vec![(sym("A"), y)]));
+        c.merge(sx, sy);
+        assert!(c.equal(x, y), "struct(A=x) = struct(A=y) must imply x = y");
+    }
+
+    #[test]
+    fn struct_congruence_upward() {
+        let mut c = Congruence::new();
+        let x = var(&mut c, 0);
+        let y = var(&mut c, 1);
+        let sx = c.term(TermNode::Struct(vec![(sym("A"), x)]));
+        let sy = c.term(TermNode::Struct(vec![(sym("A"), y)]));
+        c.merge(x, y);
+        assert!(c.equal(sx, sy), "x = y must imply struct(A=x) = struct(A=y)");
+    }
+
+    #[test]
+    fn nested_congruence_cascade() {
+        // x = y should cascade through I[x].E = I[y].E.
+        let mut c = Congruence::new();
+        let x = var(&mut c, 0);
+        let y = var(&mut c, 1);
+        let lx = c.term(TermNode::Lookup(sym("I"), x));
+        let ly = c.term(TermNode::Lookup(sym("I"), y));
+        let ex = c.term(TermNode::Field(lx, sym("E")));
+        let ey = c.term(TermNode::Field(ly, sym("E")));
+        c.merge(x, y);
+        assert!(c.equal(ex, ey));
+    }
+
+    #[test]
+    fn projection_over_constructor() {
+        // k = struct(A = x, B = 7) implies k.A = x and k.B = 7.
+        let mut c = Congruence::new();
+        let k = var(&mut c, 0);
+        let x = var(&mut c, 1);
+        let seven = c.term(TermNode::Const(Value::Int(7)));
+        let st = c.term(TermNode::Struct(vec![(sym("A"), x), (sym("B"), seven)]));
+        c.merge(k, st);
+        let ka = c.term(TermNode::Field(k, sym("A")));
+        let kb = c.term(TermNode::Field(k, sym("B")));
+        assert!(c.equal(ka, x), "k.A = x");
+        assert!(c.equal(kb, seven), "k.B = 7");
+    }
+
+    #[test]
+    fn projection_with_preexisting_field_terms() {
+        // Field terms created *before* the merge must also be caught.
+        let mut c = Congruence::new();
+        let k = var(&mut c, 0);
+        let kb = c.term(TermNode::Field(k, sym("B")));
+        let seven = c.term(TermNode::Const(Value::Int(7)));
+        let st = c.term(TermNode::Struct(vec![(sym("B"), seven)]));
+        c.merge(k, st);
+        assert!(c.equal(kb, seven));
+    }
+
+    #[test]
+    fn constant_conflict_detected() {
+        let mut c = Congruence::new();
+        let a = c.term(TermNode::Const(Value::Int(1)));
+        let b = c.term(TermNode::Const(Value::Int(2)));
+        assert!(!c.is_inconsistent());
+        c.merge(a, b);
+        assert!(c.is_inconsistent());
+    }
+
+    #[test]
+    fn same_constants_no_conflict() {
+        let mut c = Congruence::new();
+        let a = c.term(TermNode::Const(Value::Int(1)));
+        let x = var(&mut c, 0);
+        c.merge(a, x);
+        assert!(!c.is_inconsistent());
+    }
+
+    #[test]
+    fn intern_path_round_trip() {
+        let mut c = Congruence::new();
+        let p = PathExpr::from(Var(0)).lookup_in("I").dot("E");
+        let t = c.intern_path(&p);
+        assert_eq!(c.path_of(t), p);
+        assert_eq!(c.term_size(t), 3);
+    }
+
+    #[test]
+    fn support_tracking() {
+        let mut c = Congruence::new();
+        let p = PathExpr::MkStruct(vec![
+            (sym("A"), PathExpr::from(Var(1)).dot("A")),
+            (sym("B"), PathExpr::from(Var(2))),
+        ]);
+        let t = c.intern_path(&p);
+        let sup = c.support(t).clone();
+        assert!(sup.contains(Var(1)));
+        assert!(sup.contains(Var(2)));
+        assert!(!sup.contains(Var(0)));
+    }
+
+    #[test]
+    fn rewrite_over_subset() {
+        // r.A = v.K, with v kept: rewriting r.A over {v} yields v.K.
+        let mut c = Congruence::new();
+        let ra = c.intern_path(&PathExpr::from(Var(0)).dot("A"));
+        let vk = c.intern_path(&PathExpr::from(Var(1)).dot("K"));
+        c.merge(ra, vk);
+        let allowed = VarSet::from_iter([Var(1)]);
+        let rw = c.rewrite_over(ra, &allowed).expect("rewritable");
+        assert_eq!(c.path_of(rw), PathExpr::from(Var(1)).dot("K"));
+        // Over the empty set nothing matches.
+        assert!(c.rewrite_over(ra, &VarSet::new()).is_none());
+    }
+
+    #[test]
+    fn rewrite_constructs_congruent_terms() {
+        // k' = k; the term M[k'].P exists but M[k].P does not. Rewriting
+        // M[k'].P over {k} must construct M[k].P.
+        let mut c = Congruence::new();
+        let k = c.intern_path(&PathExpr::from(Var(0)));
+        let kp = c.intern_path(&PathExpr::from(Var(1)));
+        let range = c.intern_path(&PathExpr::from(Var(1)).lookup_in("M").dot("P"));
+        c.merge(k, kp);
+        let allowed = VarSet::from_iter([Var(0)]);
+        let rw = c.rewrite_over(range, &allowed).expect("constructible");
+        assert_eq!(c.path_of(rw), PathExpr::from(Var(0)).lookup_in("M").dot("P"));
+        // The constructed term is congruent to the original.
+        assert!(c.equal(rw, range));
+    }
+
+    #[test]
+    fn rewrite_fails_when_no_anchor() {
+        // No equality at all: M[k'].P cannot be expressed without k'.
+        let mut c = Congruence::new();
+        let range = c.intern_path(&PathExpr::from(Var(1)).lookup_in("M").dot("P"));
+        let allowed = VarSet::from_iter([Var(0)]);
+        assert!(c.rewrite_over(range, &allowed).is_none());
+    }
+
+    #[test]
+    fn scratch_terms_excluded_from_rewrites() {
+        let mut c = Congruence::new();
+        let ra = c.intern_path(&PathExpr::from(Var(0)).dot("A"));
+        c.set_scratch_mode(true);
+        let sb = c.intern_path(&PathExpr::from(Var(1)).dot("B"));
+        c.set_scratch_mode(false);
+        c.merge(ra, sb);
+        let allowed = VarSet::from_iter([Var(1)]);
+        assert!(
+            c.rewrite_over(ra, &allowed).is_none(),
+            "scratch member must not be offered as a rewrite"
+        );
+    }
+
+    #[test]
+    fn class_reps_partition() {
+        let mut c = Congruence::new();
+        let x = var(&mut c, 0);
+        let y = var(&mut c, 1);
+        let z = var(&mut c, 2);
+        c.merge(x, y);
+        let reps = c.class_reps();
+        assert_eq!(reps.len(), 2);
+        assert_eq!(c.class_members(x).len(), 2);
+        assert_eq!(c.class_members(z).len(), 1);
+    }
+}

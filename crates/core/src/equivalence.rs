@@ -1,0 +1,249 @@
+//! Constraint-aware query equivalence.
+//!
+//! The backchase must decide, for each candidate subquery `Q'` of the
+//! universal plan, whether `Q' ≡ Q₀` under the constraint set `D`. Since
+//! `Q₀ ⊆ Q'` holds by construction (removing bindings can only enlarge the
+//! result), only `Q' ⊆ Q₀` must be checked, which by the chase-containment
+//! theorem reduces to: chase `Q'` with `D`, then look for a homomorphism of
+//! `Q₀`'s body into the chased `Q'` that preserves the output struct. This is
+//! exactly checking that the dependency δ of the backchase step (paper,
+//! Appendix A) is implied by `D` — "using the chase … when constraints are
+//! viewed as boolean-valued queries".
+
+use std::collections::HashMap;
+
+use cnb_ir::prelude::{Constraint, PathExpr, Query, Symbol};
+
+use crate::canon::{substitute, CanonDb};
+use crate::chase::{chase, ChaseConfig, ChaseStats};
+use crate::homomorphism::{find_homs, HomConfig, HomMap};
+
+/// Checks subquery equivalence against a fixed original query.
+pub struct EquivChecker<'a> {
+    /// The equivalence target (the original query of this C&B invocation).
+    pub q0: &'a Query,
+    /// The active constraint set.
+    pub constraints: &'a [Constraint],
+    /// Chase limits for the implication chases.
+    pub chase_cfg: ChaseConfig,
+}
+
+/// Counters from one equivalence check.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EquivStats {
+    /// Stats of the implication chase.
+    pub chase: ChaseStats,
+    /// Homomorphisms of `q0` into the chased candidate that were inspected.
+    pub homs_inspected: usize,
+}
+
+impl<'a> EquivChecker<'a> {
+    /// Creates a checker for target `q0` under `constraints`.
+    pub fn new(q0: &'a Query, constraints: &'a [Constraint], chase_cfg: ChaseConfig) -> Self {
+        EquivChecker {
+            q0,
+            constraints,
+            chase_cfg,
+        }
+    }
+
+    /// Is `candidate` (a subquery of the universal plan of `q0`, sharing its
+    /// variable space) equivalent to `q0` under the constraints?
+    pub fn equivalent(&self, candidate: &Query) -> (bool, EquivStats) {
+        let mut stats = EquivStats::default();
+        let mut db = CanonDb::new(candidate.clone());
+        stats.chase = chase(&mut db, self.constraints, self.chase_cfg);
+
+        // Select paths of the candidate, by label, for output preservation.
+        let outputs: HashMap<Symbol, &PathExpr> =
+            candidate.select.iter().map(|(l, p)| (*l, p)).collect();
+
+        let (homs, _) = find_homs(
+            &mut db,
+            &self.q0.from,
+            &self.q0.where_,
+            &HomMap::new(),
+            HomConfig::default(),
+        );
+        for h in homs {
+            stats.homs_inspected += 1;
+            let ok = self.q0.select.iter().all(|(label, p)| {
+                let Some(target) = outputs.get(label) else {
+                    return false;
+                };
+                let hp = substitute(p, &h);
+                db.implied(&hp, target)
+            });
+            if ok {
+                return (true, stats);
+            }
+        }
+        (false, stats)
+    }
+}
+
+/// Are two plans the *same query* up to variable renaming and condition
+/// reordering? Checked semantically: equal arity plus mutual constraint-free
+/// containment (a cheap canonical-key comparison short-circuits the common
+/// case). Used to deduplicate plans discovered along different rewrite
+/// routes, whose from-clauses may list the same bindings in different orders.
+pub fn same_plan(a: &Query, b: &Query) -> bool {
+    if a.from.len() != b.from.len() || a.select.len() != b.select.len() {
+        return false;
+    }
+    if a.canonical_key() == b.canonical_key() {
+        return true;
+    }
+    let cfg = ChaseConfig {
+        max_steps: 0,
+        max_rounds: 1,
+    };
+    let (ab, _) = EquivChecker::new(a, &[], cfg).equivalent(b);
+    if !ab {
+        return false;
+    }
+    let (ba, _) = EquivChecker::new(b, &[], cfg).equivalent(a);
+    ba
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnb_ir::prelude::*;
+
+    /// Tableau minimization (no constraints): a redundant self-join is
+    /// equivalent to its single-binding core.
+    #[test]
+    fn tableau_minimization() {
+        // Q0: select r1.A from R r1, R r2 where r1.A = r2.A — r2 redundant.
+        let mut q0 = Query::new();
+        let r1 = q0.bind("r1", Range::Name(sym("R")));
+        let r2 = q0.bind("r2", Range::Name(sym("R")));
+        q0.equate(PathExpr::from(r1).dot("A"), PathExpr::from(r2).dot("A"));
+        q0.output("A", PathExpr::from(r1).dot("A"));
+
+        // Candidate: just r1.
+        let mut cand = Query::new();
+        cand.reserve_vars(q0.var_bound());
+        cand.from.push(q0.from[0].clone());
+        cand.output("A", PathExpr::from(r1).dot("A"));
+
+        let checker = EquivChecker::new(&q0, &[], ChaseConfig::default());
+        let (eq, _) = checker.equivalent(&cand);
+        assert!(eq, "redundant join must minimize away");
+    }
+
+    /// Dropping a *non*-redundant binding is not equivalent.
+    #[test]
+    fn real_join_is_not_removable() {
+        // Q0: select r.A from R r, S s where r.A = s.A.
+        let mut q0 = Query::new();
+        let r = q0.bind("r", Range::Name(sym("R")));
+        let s = q0.bind("s", Range::Name(sym("S")));
+        q0.equate(PathExpr::from(r).dot("A"), PathExpr::from(s).dot("A"));
+        q0.output("A", PathExpr::from(r).dot("A"));
+
+        let mut cand = Query::new();
+        cand.reserve_vars(q0.var_bound());
+        cand.from.push(q0.from[0].clone());
+        cand.output("A", PathExpr::from(r).dot("A"));
+        let _ = s;
+
+        let checker = EquivChecker::new(&q0, &[], ChaseConfig::default());
+        let (eq, _) = checker.equivalent(&cand);
+        assert!(!eq, "S restricts the result; dropping it changes semantics");
+    }
+
+    /// With the RIC of Example 2.1, the joined form *is* equivalent — i.e.
+    /// checking the original against the join-enlarged candidate and vice
+    /// versa both succeed.
+    #[test]
+    fn ric_makes_join_removable() {
+        let mut ric = Constraint::new("RIC");
+        let cr = ric.forall("r", Range::Name(sym("R")));
+        let cs = ric.exists("s", Range::Name(sym("S")));
+        ric.then(PathExpr::from(cr).dot("A"), PathExpr::from(cs).dot("A"));
+        let constraints = [ric];
+
+        let mut q0 = Query::new();
+        let r = q0.bind("r", Range::Name(sym("R")));
+        let s = q0.bind("s", Range::Name(sym("S")));
+        q0.equate(PathExpr::from(r).dot("A"), PathExpr::from(s).dot("A"));
+        q0.output("A", PathExpr::from(r).dot("A"));
+
+        let mut cand = Query::new();
+        cand.reserve_vars(q0.var_bound());
+        cand.from.push(q0.from[0].clone());
+        cand.output("A", PathExpr::from(r).dot("A"));
+
+        let checker = EquivChecker::new(&q0, &constraints, ChaseConfig::default());
+        let (eq, _) = checker.equivalent(&cand);
+        assert!(eq, "the RIC guarantees every r joins some s");
+    }
+
+    /// Output labels must match; a candidate computing a different output is
+    /// rejected even if its body is fine.
+    #[test]
+    fn output_preservation_enforced() {
+        let mut q0 = Query::new();
+        let r = q0.bind("r", Range::Name(sym("R")));
+        q0.output("A", PathExpr::from(r).dot("A"));
+
+        let mut cand = Query::new();
+        cand.reserve_vars(q0.var_bound());
+        cand.from.push(q0.from[0].clone());
+        cand.output("A", PathExpr::from(r).dot("B"));
+
+        let checker = EquivChecker::new(&q0, &[], ChaseConfig::default());
+        let (eq, _) = checker.equivalent(&cand);
+        assert!(!eq);
+    }
+
+    /// The index-only candidate from the primary-index chase is equivalent.
+    #[test]
+    fn index_plan_equivalent() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", [(sym("K"), Type::Int), (sym("N"), Type::Int)]);
+        add_primary_index(&mut schema, sym("R"), sym("K"), "PI");
+        let constraints = schema.all_constraints();
+
+        let mut q0 = Query::new();
+        let r = q0.bind("r", Range::Name(sym("R")));
+        q0.output("K", PathExpr::from(r).dot("K"));
+        q0.output("N", PathExpr::from(r).dot("N"));
+
+        // Candidate: select PI[k].K, PI[k].N from dom PI k.
+        let mut cand = Query::new();
+        cand.reserve_vars(q0.var_bound());
+        let k = cand.bind("k", Range::Dom(sym("PI")));
+        cand.output("K", PathExpr::from(k).lookup_in("PI").dot("K"));
+        cand.output("N", PathExpr::from(k).lookup_in("PI").dot("N"));
+
+        let checker = EquivChecker::new(&q0, &constraints, ChaseConfig::default());
+        let (eq, _) = checker.equivalent(&cand);
+        assert!(eq, "index scan covers the table scan");
+    }
+
+    /// A plan over an *unrelated* physical structure is not equivalent.
+    #[test]
+    fn unrelated_structure_rejected() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", [(sym("K"), Type::Int)]);
+        schema.add_relation("Z", [(sym("K"), Type::Int)]);
+        add_primary_index(&mut schema, sym("Z"), sym("K"), "PZ");
+        let constraints = schema.all_constraints();
+
+        let mut q0 = Query::new();
+        let r = q0.bind("r", Range::Name(sym("R")));
+        q0.output("K", PathExpr::from(r).dot("K"));
+
+        let mut cand = Query::new();
+        cand.reserve_vars(q0.var_bound());
+        let k = cand.bind("k", Range::Dom(sym("PZ")));
+        cand.output("K", PathExpr::from(k).lookup_in("PZ").dot("K"));
+
+        let checker = EquivChecker::new(&q0, &constraints, ChaseConfig::default());
+        let (eq, _) = checker.equivalent(&cand);
+        assert!(!eq);
+    }
+}

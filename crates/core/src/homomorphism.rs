@@ -1,0 +1,466 @@
+//! Homomorphism search with incremental equality pruning.
+//!
+//! A homomorphism from a body (bindings + conditions) into a query maps
+//! variables to the query's variables such that (Appendix A):
+//!
+//! 1. each binding `P x` corresponds to a query binding `P' h(x)` where
+//!    `h(P)` and `P'` are the same expression or `h(P) = P'` follows from the
+//!    query's where-clause, and
+//! 2. every condition `P₁ = P₂` maps to an equality implied by the query's
+//!    where-clause.
+//!
+//! Finding one is NP-complete in the size of the source body (always small in
+//! practice); the search below implements the paper's §3.1 accelerations:
+//! congruence-closure implication checks and *incremental* pruning — a
+//! partial assignment is abandoned as soon as any condition among its
+//! already-assigned variables fails.
+
+use std::collections::HashMap;
+
+use cnb_ir::prelude::{Binding, Equality, Range, Var};
+
+use crate::canon::{substitute, CanonDb};
+
+/// A variable mapping from a source body into a target query.
+pub type HomMap = HashMap<Var, Var>;
+
+/// Search configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct HomConfig {
+    /// Stop after this many homomorphisms (use 1 for satisfaction checks).
+    pub max_homs: usize,
+    /// Require distinct source bindings to map to distinct target bindings
+    /// (used by the OCS constraint-interaction graph).
+    pub injective: bool,
+}
+
+impl Default for HomConfig {
+    fn default() -> HomConfig {
+        HomConfig {
+            max_homs: usize::MAX,
+            injective: false,
+        }
+    }
+}
+
+/// Statistics of one search, for the experiment harness.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HomStats {
+    /// Partial assignments attempted.
+    pub candidates_tried: usize,
+    /// Partial assignments pruned by an early condition failure.
+    pub pruned: usize,
+}
+
+/// Finds homomorphisms from `(bindings, conds)` into `db.query`.
+///
+/// `fixed` pre-assigns variables (used for chase-step extension checks where
+/// the universal variables are already mapped, and for seeded containment
+/// checks). Conditions mentioning only fixed variables are verified up front.
+pub fn find_homs(
+    db: &mut CanonDb,
+    bindings: &[Binding],
+    conds: &[Equality],
+    fixed: &HomMap,
+    cfg: HomConfig,
+) -> (Vec<HomMap>, HomStats) {
+    let mut stats = HomStats::default();
+    let mut results = Vec::new();
+
+    // Position of each source variable in the binding order.
+    let mut pos: HashMap<Var, usize> = HashMap::new();
+    for (i, b) in bindings.iter().enumerate() {
+        pos.insert(b.var, i);
+    }
+
+    // For each condition, the last binding position among its variables
+    // (variables not in `bindings` must be in `fixed`). `None` means the
+    // condition only involves fixed variables: check immediately.
+    let mut ready_at: Vec<Vec<&Equality>> = vec![Vec::new(); bindings.len()];
+    let mut ready_now: Vec<&Equality> = Vec::new();
+    for eq in conds {
+        let mut last: Option<usize> = None;
+        let mut ok = true;
+        for v in eq.vars() {
+            match pos.get(&v) {
+                Some(&p) => last = Some(last.map_or(p, |l| l.max(p))),
+                None => {
+                    if !fixed.contains_key(&v) {
+                        ok = false;
+                    }
+                }
+            }
+        }
+        if !ok {
+            // Unmappable condition (free variable) — no homomorphism exists.
+            return (results, stats);
+        }
+        match last {
+            Some(p) => ready_at[p].push(eq),
+            None => ready_now.push(eq),
+        }
+    }
+    for eq in ready_now {
+        let l = substitute(&eq.lhs, fixed);
+        let r = substitute(&eq.rhs, fixed);
+        if !db.implied(&l, &r) {
+            stats.pruned += 1;
+            return (results, stats);
+        }
+    }
+
+    let mut map: HomMap = fixed.clone();
+    let mut used: Vec<Var> = Vec::new();
+    dfs(
+        db,
+        bindings,
+        &ready_at,
+        0,
+        &mut map,
+        &mut used,
+        &mut results,
+        &mut stats,
+        cfg,
+    );
+    (results, stats)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    db: &mut CanonDb,
+    bindings: &[Binding],
+    ready_at: &[Vec<&Equality>],
+    depth: usize,
+    map: &mut HomMap,
+    used: &mut Vec<Var>,
+    results: &mut Vec<HomMap>,
+    stats: &mut HomStats,
+    cfg: HomConfig,
+) {
+    if results.len() >= cfg.max_homs {
+        return;
+    }
+    if depth == bindings.len() {
+        results.push(map.clone());
+        return;
+    }
+    let b = &bindings[depth];
+
+    // If pre-fixed, verify range compatibility and conditions, then recurse.
+    if let Some(&target) = map.get(&b.var) {
+        if range_compatible(db, &b.range, map, target) && conds_hold(db, ready_at, depth, map, stats)
+        {
+            dfs(db, bindings, ready_at, depth + 1, map, used, results, stats, cfg);
+        }
+        return;
+    }
+
+    // Enumerate candidate target bindings. Snapshot count: chase may grow the
+    // from-list, but within one search the query is stable.
+    let n = db.query.from.len();
+    for i in 0..n {
+        let (tv, is_candidate) = {
+            let tb = &db.query.from[i];
+            (tb.var, quick_filter(&b.range, &tb.range))
+        };
+        if !is_candidate {
+            continue;
+        }
+        if cfg.injective && used.contains(&tv) {
+            continue;
+        }
+        stats.candidates_tried += 1;
+        if !range_compatible(db, &b.range, map, tv) {
+            stats.pruned += 1;
+            continue;
+        }
+        map.insert(b.var, tv);
+        used.push(tv);
+        if conds_hold(db, ready_at, depth, map, stats) {
+            dfs(db, bindings, ready_at, depth + 1, map, used, results, stats, cfg);
+        }
+        used.pop();
+        map.remove(&b.var);
+        if results.len() >= cfg.max_homs {
+            return;
+        }
+    }
+}
+
+/// Cheap structural pre-filter: a source range can only match target ranges
+/// of the same kind (and, for names/domains, the same schema name). `Expr`
+/// ranges are all admitted here and checked properly in
+/// [`range_compatible`].
+fn quick_filter(src: &Range, tgt: &Range) -> bool {
+    match (src, tgt) {
+        (Range::Name(a), Range::Name(b)) => a == b,
+        (Range::Dom(a), Range::Dom(b)) => a == b,
+        (Range::Expr(_), Range::Expr(_)) => true,
+        _ => false,
+    }
+}
+
+/// Full range-compatibility check: the substituted source range must equal
+/// the target binding's range under the query's congruence.
+fn range_compatible(db: &mut CanonDb, src: &Range, map: &HomMap, target: Var) -> bool {
+    let tgt_range = match db.query.binding(target) {
+        Some(b) => b.range.clone(),
+        None => return false,
+    };
+    match (src, &tgt_range) {
+        (Range::Name(a), Range::Name(b)) => a == b,
+        (Range::Dom(a), Range::Dom(b)) => a == b,
+        (Range::Expr(p), Range::Expr(q)) => {
+            // All of p's variables must already be assigned (constraint
+            // well-formedness orders range variables first).
+            let mut all_assigned = true;
+            p.vars_all(&mut |v| {
+                let ok = map.contains_key(&v);
+                all_assigned &= ok;
+                ok
+            });
+            if !all_assigned {
+                return false;
+            }
+            let sp = substitute(p, map);
+            db.implied(&sp, q)
+        }
+        _ => false,
+    }
+}
+
+fn conds_hold(
+    db: &mut CanonDb,
+    ready_at: &[Vec<&Equality>],
+    depth: usize,
+    map: &HomMap,
+    stats: &mut HomStats,
+) -> bool {
+    for eq in &ready_at[depth] {
+        let l = substitute(&eq.lhs, map);
+        let r = substitute(&eq.rhs, map);
+        if !db.implied(&l, &r) {
+            stats.pruned += 1;
+            return false;
+        }
+    }
+    true
+}
+
+/// Convenience: does at least one homomorphism exist?
+pub fn hom_exists(
+    db: &mut CanonDb,
+    bindings: &[Binding],
+    conds: &[Equality],
+    fixed: &HomMap,
+) -> bool {
+    let (homs, _) = find_homs(
+        db,
+        bindings,
+        conds,
+        fixed,
+        HomConfig {
+            max_homs: 1,
+            injective: false,
+        },
+    );
+    !homs.is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnb_ir::prelude::*;
+
+    /// Target: select … from R r, S s where r.A = s.A
+    fn target() -> CanonDb {
+        let mut q = Query::new();
+        let r = q.bind("r", Range::Name(sym("R")));
+        let s = q.bind("s", Range::Name(sym("S")));
+        q.equate(PathExpr::from(r).dot("A"), PathExpr::from(s).dot("A"));
+        CanonDb::new(q)
+    }
+
+    /// Source body: (x in R) with condition x.A = x.A (trivial).
+    #[test]
+    fn maps_single_binding() {
+        let mut db = target();
+        let mut src = Query::new();
+        let x = src.bind("x", Range::Name(sym("R")));
+        let (homs, _) = find_homs(&mut db, &src.from, &[], &HomMap::new(), HomConfig::default());
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0][&x], db.query.from[0].var);
+    }
+
+    #[test]
+    fn no_match_for_unknown_relation() {
+        let mut db = target();
+        let mut src = Query::new();
+        src.bind("x", Range::Name(sym("T")));
+        let (homs, _) = find_homs(&mut db, &src.from, &[], &HomMap::new(), HomConfig::default());
+        assert!(homs.is_empty());
+    }
+
+    #[test]
+    fn conditions_filter_assignments() {
+        // Target has two R-bindings, only one with r.B = 3.
+        let mut q = Query::new();
+        let r1 = q.bind("r1", Range::Name(sym("R")));
+        let _r2 = q.bind("r2", Range::Name(sym("R")));
+        q.equate(PathExpr::from(r1).dot("B"), PathExpr::from(3i64));
+        let mut db = CanonDb::new(q);
+
+        let mut src = Query::new();
+        let x = src.bind("x", Range::Name(sym("R")));
+        let conds = vec![Equality::new(
+            PathExpr::from(x).dot("B"),
+            PathExpr::from(3i64),
+        )];
+        let (homs, _) = find_homs(&mut db, &src.from, &conds, &HomMap::new(), HomConfig::default());
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0][&x], r1);
+    }
+
+    #[test]
+    fn equality_condition_via_congruence() {
+        let mut db = target();
+        let r = db.query.from[0].var;
+        let s = db.query.from[1].var;
+        // Source: (x in R)(y in S) with x.A = y.A — implied in target.
+        let mut src = Query::new();
+        let x = src.bind("x", Range::Name(sym("R")));
+        let y = src.bind("y", Range::Name(sym("S")));
+        let conds = vec![Equality::new(
+            PathExpr::from(x).dot("A"),
+            PathExpr::from(y).dot("A"),
+        )];
+        let (homs, _) = find_homs(&mut db, &src.from, &conds, &HomMap::new(), HomConfig::default());
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0][&x], r);
+        assert_eq!(homs[0][&y], s);
+    }
+
+    #[test]
+    fn multiple_homs_enumerated() {
+        let mut q = Query::new();
+        q.bind("r1", Range::Name(sym("R")));
+        q.bind("r2", Range::Name(sym("R")));
+        let mut db = CanonDb::new(q);
+        let mut src = Query::new();
+        src.bind("x", Range::Name(sym("R")));
+        let (homs, _) = find_homs(&mut db, &src.from, &[], &HomMap::new(), HomConfig::default());
+        assert_eq!(homs.len(), 2);
+    }
+
+    #[test]
+    fn non_injective_by_default_injective_on_request() {
+        let mut q = Query::new();
+        q.bind("r", Range::Name(sym("R")));
+        let mut db = CanonDb::new(q);
+        // Source has two R-bindings; the only target R-binding must host both
+        // unless injectivity is requested.
+        let mut src = Query::new();
+        src.bind("x", Range::Name(sym("R")));
+        src.bind("y", Range::Name(sym("R")));
+        let (homs, _) = find_homs(&mut db, &src.from, &[], &HomMap::new(), HomConfig::default());
+        assert_eq!(homs.len(), 1);
+        let (inj, _) = find_homs(
+            &mut db,
+            &src.from,
+            &[],
+            &HomMap::new(),
+            HomConfig {
+                injective: true,
+                max_homs: usize::MAX,
+            },
+        );
+        assert!(inj.is_empty());
+    }
+
+    #[test]
+    fn fixed_prefix_respected() {
+        let mut q = Query::new();
+        let r1 = q.bind("r1", Range::Name(sym("R")));
+        let r2 = q.bind("r2", Range::Name(sym("R")));
+        let mut db = CanonDb::new(q);
+        let mut src = Query::new();
+        let x = src.bind("x", Range::Name(sym("R")));
+        let mut fixed = HomMap::new();
+        fixed.insert(x, r2);
+        let (homs, _) = find_homs(&mut db, &src.from, &[], &fixed, HomConfig::default());
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0][&x], r2);
+        let _ = r1;
+    }
+
+    #[test]
+    fn expr_ranges_match_under_congruence() {
+        // Target: (k in dom M)(o in M[k].N). Source: (k' in dom M)(o' in M[k'].N).
+        let mut q = Query::new();
+        let k = q.bind("k", Range::Dom(sym("M")));
+        let _o = q.bind(
+            "o",
+            Range::Expr(PathExpr::from(k).lookup_in("M").dot("N")),
+        );
+        let mut db = CanonDb::new(q);
+        let mut src = Query::new();
+        let k2 = src.bind("k2", Range::Dom(sym("M")));
+        let o2 = src.bind(
+            "o2",
+            Range::Expr(PathExpr::from(k2).lookup_in("M").dot("N")),
+        );
+        let (homs, _) = find_homs(&mut db, &src.from, &[], &HomMap::new(), HomConfig::default());
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0][&o2], db.query.from[1].var);
+    }
+
+    #[test]
+    fn expr_range_mismatch_rejected() {
+        // Target ranges over M[k].N; source over M[k].P — no match.
+        let mut q = Query::new();
+        let k = q.bind("k", Range::Dom(sym("M")));
+        q.bind("o", Range::Expr(PathExpr::from(k).lookup_in("M").dot("N")));
+        let mut db = CanonDb::new(q);
+        let mut src = Query::new();
+        let k2 = src.bind("k2", Range::Dom(sym("M")));
+        src.bind(
+            "o2",
+            Range::Expr(PathExpr::from(k2).lookup_in("M").dot("P")),
+        );
+        let (homs, _) = find_homs(&mut db, &src.from, &[], &HomMap::new(), HomConfig::default());
+        assert!(homs.is_empty());
+    }
+
+    #[test]
+    fn max_homs_caps_enumeration() {
+        let mut q = Query::new();
+        for i in 0..4 {
+            q.bind(&format!("r{i}"), Range::Name(sym("R")));
+        }
+        let mut db = CanonDb::new(q);
+        let mut src = Query::new();
+        src.bind("x", Range::Name(sym("R")));
+        let (homs, _) = find_homs(
+            &mut db,
+            &src.from,
+            &[],
+            &HomMap::new(),
+            HomConfig {
+                max_homs: 2,
+                injective: false,
+            },
+        );
+        assert_eq!(homs.len(), 2);
+    }
+
+    #[test]
+    fn hom_exists_shortcut() {
+        let mut db = target();
+        let mut src = Query::new();
+        src.bind("x", Range::Name(sym("S")));
+        assert!(hom_exists(&mut db, &src.from, &[], &HomMap::new()));
+        let mut src2 = Query::new();
+        src2.bind("x", Range::Name(sym("Z")));
+        assert!(!hom_exists(&mut db, &src2.from, &[], &HomMap::new()));
+    }
+}

@@ -1,0 +1,49 @@
+//! # cnb-core — the Chase & Backchase optimizer
+//!
+//! Implements the two phases of the C&B technique of *"A Chase Too Far?"*:
+//!
+//! * [`chase`] — rewrite a query forward with all applicable constraints into
+//!   a *universal plan* mentioning every relevant physical structure;
+//! * [`backchase`] — walk the subqueries of the universal plan top-down,
+//!   removing bindings justified by constraint implication, emitting the
+//!   minimal equivalent subqueries as plans.
+//!
+//! plus the two stratification strategies that make the backchase practical:
+//! [`fragments`] (on-line query fragmentation, OQF, §3.2.1) and [`strata`]
+//! (off-line constraint stratification, OCS, §3.2.2), tied together by the
+//! [`optimizer`] facade.
+
+#![warn(missing_docs)]
+
+pub mod backchase;
+pub mod bitset;
+pub mod bottomup;
+pub mod canon;
+pub mod chase;
+pub mod congruence;
+pub mod cost;
+pub mod equivalence;
+pub mod fragments;
+pub mod homomorphism;
+pub mod optimizer;
+pub mod strata;
+pub mod subquery;
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::backchase::{
+        backchase, chase_and_backchase, BackchaseConfig, BackchaseResult, Plan,
+    };
+    pub use crate::bitset::VarSet;
+    pub use crate::bottomup::bottom_up_backchase;
+    pub use crate::canon::CanonDb;
+    pub use crate::chase::{chase, chase_query, ChaseConfig, ChaseStats};
+    pub use crate::congruence::{Congruence, TermId, TermNode};
+    pub use crate::cost::CostModel;
+    pub use crate::equivalence::{same_plan, EquivChecker};
+    pub use crate::fragments::{decompose, Fragment};
+    pub use crate::homomorphism::{find_homs, hom_exists, HomConfig, HomMap};
+    pub use crate::optimizer::{OptimizeResult, Optimizer, OptimizerConfig, PlanInfo, Strategy};
+    pub use crate::strata::{regroup, stratify};
+    pub use crate::subquery::{all_bindings, induce_subquery};
+}

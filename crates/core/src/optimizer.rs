@@ -1,0 +1,443 @@
+//! The optimizer facade: FB, OQF and OCS behind one entry point.
+//!
+//! Mirrors the prototype architecture of §4: the plan generator takes a
+//! query plus the schema's constraints (semantic constraints and skeleton
+//! pairs) and produces the set of minimal equivalent plans, under one of the
+//! three backchase strategies evaluated in the paper.
+
+use std::time::{Duration, Instant};
+
+use cnb_ir::prelude::{Constraint, Query, Schema, Symbol};
+
+use crate::backchase::{chase_and_backchase, BackchaseConfig};
+use crate::chase::ChaseStats;
+use crate::cost::CostModel;
+use crate::fragments::{combine_plans, decompose};
+use crate::strata::{regroup, stratify};
+
+/// Which backchase strategy to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Strategy {
+    /// Full backchase with all constraints (FB).
+    Full,
+    /// On-line query fragmentation (OQF, Algorithm 3.1).
+    Oqf,
+    /// Off-line constraint stratification (OCS, Algorithm 3.3).
+    Ocs,
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Strategy::Full => write!(f, "FB"),
+            Strategy::Oqf => write!(f, "OQF"),
+            Strategy::Ocs => write!(f, "OCS"),
+        }
+    }
+}
+
+/// Optimizer configuration.
+#[derive(Clone, Debug)]
+pub struct OptimizerConfig {
+    /// Strategy to use.
+    pub strategy: Strategy,
+    /// Limits shared by all chase/backchase invocations.
+    pub backchase: BackchaseConfig,
+    /// OCS only: merge this many natural strata per pipeline stage (fig. 8's
+    /// granularity sweep). `None` keeps the natural strata.
+    pub stratum_group_size: Option<usize>,
+    /// Sort plans "best first" (more physical structures, then fewer loops).
+    pub sort_best_first: bool,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> OptimizerConfig {
+        OptimizerConfig {
+            strategy: Strategy::Full,
+            backchase: BackchaseConfig::default(),
+            stratum_group_size: None,
+            sort_best_first: true,
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// Config with the given strategy and defaults otherwise.
+    pub fn with_strategy(strategy: Strategy) -> OptimizerConfig {
+        OptimizerConfig {
+            strategy,
+            ..OptimizerConfig::default()
+        }
+    }
+
+    /// Sets the wall-clock budget.
+    pub fn timeout(mut self, t: Duration) -> OptimizerConfig {
+        self.backchase.timeout = Some(t);
+        self
+    }
+}
+
+/// One generated plan with provenance metadata.
+#[derive(Clone, Debug)]
+pub struct PlanInfo {
+    /// The plan query.
+    pub query: Query,
+    /// Physical structures (indexes, views, ASRs) the plan ranges over.
+    pub physical_used: Vec<Symbol>,
+    /// Number of from-clause bindings.
+    pub arity: usize,
+}
+
+/// The result of one optimization run.
+#[derive(Clone, Debug, Default)]
+pub struct OptimizeResult {
+    /// Generated plans (deduplicated; best-first if requested).
+    pub plans: Vec<PlanInfo>,
+    /// Size of the universal plan(s) — summed over fragments/stages.
+    pub universal_arity: usize,
+    /// Subqueries explored (equivalence checks) across all invocations.
+    pub explored: usize,
+    /// Time spent chasing.
+    pub chase_time: Duration,
+    /// Time spent in backchase search.
+    pub backchase_time: Duration,
+    /// End-to-end optimization time.
+    pub total_time: Duration,
+    /// True if any phase hit its time budget.
+    pub timed_out: bool,
+    /// Number of OQF fragments (1 when not fragmenting).
+    pub fragments: usize,
+    /// Number of OCS pipeline stages (1 when not stratifying).
+    pub strata: usize,
+    /// Chase statistics (summed).
+    pub chase_stats: ChaseStats,
+}
+
+impl OptimizeResult {
+    /// Time per generated plan (the paper's normalized §5.3.2 measure).
+    pub fn time_per_plan(&self) -> Duration {
+        if self.plans.is_empty() {
+            self.total_time
+        } else {
+            self.total_time / self.plans.len() as u32
+        }
+    }
+}
+
+/// The C&B optimizer for a fixed schema.
+pub struct Optimizer {
+    schema: Schema,
+    constraints: Vec<Constraint>,
+}
+
+impl Optimizer {
+    /// Builds an optimizer from a schema, taking all of its constraints.
+    pub fn new(schema: Schema) -> Optimizer {
+        let constraints = schema.all_constraints();
+        Optimizer {
+            schema,
+            constraints,
+        }
+    }
+
+    /// Overrides the constraint set (used by experiment scripts that feed
+    /// constraints in stages, as the paper's script language does).
+    pub fn with_constraints(schema: Schema, constraints: Vec<Constraint>) -> Optimizer {
+        Optimizer {
+            schema,
+            constraints,
+        }
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The active constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Optimizes `q` under the configured strategy.
+    pub fn optimize(&self, q: &Query, cfg: &OptimizerConfig) -> OptimizeResult {
+        let start = Instant::now();
+        let mut result = match cfg.strategy {
+            Strategy::Full => self.run_full(q, cfg),
+            Strategy::Oqf => self.run_oqf(q, cfg),
+            Strategy::Ocs => self.run_ocs(q, cfg),
+        };
+        result.total_time = start.elapsed();
+        if cfg.sort_best_first {
+            let model = CostModel::default();
+            result
+                .plans
+                .sort_by_key(|p| model.heuristic_rank(&self.schema, &p.query));
+        }
+        result
+    }
+
+    fn plan_info(&self, query: Query) -> PlanInfo {
+        let physical_used: Vec<Symbol> = query
+            .from
+            .iter()
+            .filter_map(|b| b.range.anchor())
+            .filter(|a| self.schema.is_physical(*a))
+            .collect();
+        PlanInfo {
+            arity: query.from.len(),
+            physical_used,
+            query,
+        }
+    }
+
+    fn run_full(&self, q: &Query, cfg: &OptimizerConfig) -> OptimizeResult {
+        let res = chase_and_backchase(q, &self.constraints, &cfg.backchase);
+        OptimizeResult {
+            plans: res
+                .plans
+                .into_iter()
+                .map(|p| self.plan_info(p.query))
+                .collect(),
+            universal_arity: res.universal_arity,
+            explored: res.explored,
+            chase_time: res.chase_time,
+            backchase_time: res.backchase_time,
+            timed_out: res.timed_out,
+            fragments: 1,
+            strata: 1,
+            chase_stats: res.chase_stats,
+            ..OptimizeResult::default()
+        }
+    }
+
+    fn run_oqf(&self, q: &Query, cfg: &OptimizerConfig) -> OptimizeResult {
+        let frags = decompose(q, self.schema.skeletons());
+        if frags.len() <= 1 {
+            let mut r = self.run_full(q, cfg);
+            r.fragments = 1;
+            return r;
+        }
+        let mut out = OptimizeResult {
+            fragments: frags.len(),
+            strata: 1,
+            ..OptimizeResult::default()
+        };
+        let mut per_fragment: Vec<Vec<Query>> = Vec::with_capacity(frags.len());
+        for f in &frags {
+            let res = chase_and_backchase(&f.query, &self.constraints, &cfg.backchase);
+            out.universal_arity += res.universal_arity;
+            out.explored += res.explored;
+            out.chase_time += res.chase_time;
+            out.backchase_time += res.backchase_time;
+            out.timed_out |= res.timed_out;
+            merge_chase_stats(&mut out.chase_stats, &res.chase_stats);
+            per_fragment.push(res.plans.into_iter().map(|p| p.query).collect());
+        }
+        if per_fragment.iter().any(|p| p.is_empty()) {
+            // A fragment produced nothing (timeout) — no combined plans.
+            return out;
+        }
+        // Cartesian product of fragment plans (Algorithm 3.1, Step 3).
+        let mut idx = vec![0usize; per_fragment.len()];
+        loop {
+            let choice: Vec<&Query> = idx
+                .iter()
+                .enumerate()
+                .map(|(i, &j)| &per_fragment[i][j])
+                .collect();
+            let combined = combine_plans(q, &frags, &choice);
+            out.plans.push(self.plan_info(combined));
+            // Odometer increment.
+            let mut carry = true;
+            for i in (0..idx.len()).rev() {
+                if !carry {
+                    break;
+                }
+                idx[i] += 1;
+                if idx[i] < per_fragment[i].len() {
+                    carry = false;
+                } else {
+                    idx[i] = 0;
+                }
+            }
+            if carry {
+                break;
+            }
+        }
+        out
+    }
+
+    fn run_ocs(&self, q: &Query, cfg: &OptimizerConfig) -> OptimizeResult {
+        let mut strata = stratify(&self.constraints);
+        if let Some(g) = cfg.stratum_group_size {
+            strata = regroup(&strata, g);
+        }
+        let mut out = OptimizeResult {
+            fragments: 1,
+            strata: strata.len(),
+            ..OptimizeResult::default()
+        };
+        // EGDs (keys, functional dependencies) are available in *every*
+        // pipeline stage: they are query-independent, cheap to chase with,
+        // and a view can only splice into a kept hub through them. This is
+        // what reproduces the paper's EC2 OCS plan counts (3/5/8).
+        let egds: Vec<Constraint> = self
+            .constraints
+            .iter()
+            .filter(|c| c.kind() == cnb_ir::prelude::ConstraintKind::Egd)
+            .cloned()
+            .collect();
+        let mut pool: Vec<Query> = vec![q.clone()];
+        for stratum in &strata {
+            let mut cs: Vec<Constraint> = stratum
+                .iter()
+                .map(|&i| self.constraints[i].clone())
+                .collect();
+            for e in &egds {
+                if !cs.iter().any(|c| c.name == e.name) {
+                    cs.push(e.clone());
+                }
+            }
+            let mut next: Vec<Query> = Vec::new();
+            for p in &pool {
+                let res = chase_and_backchase(p, &cs, &cfg.backchase);
+                out.universal_arity += res.universal_arity;
+                out.explored += res.explored;
+                out.chase_time += res.chase_time;
+                out.backchase_time += res.backchase_time;
+                out.timed_out |= res.timed_out;
+                merge_chase_stats(&mut out.chase_stats, &res.chase_stats);
+                for plan in res.plans {
+                    if !next
+                        .iter()
+                        .any(|q| crate::equivalence::same_plan(q, &plan.query))
+                    {
+                        next.push(plan.query);
+                    }
+                }
+            }
+            pool = next;
+        }
+        out.plans = pool.into_iter().map(|p| self.plan_info(p)).collect();
+        out
+    }
+}
+
+fn merge_chase_stats(into: &mut ChaseStats, from: &ChaseStats) {
+    into.steps_applied += from.steps_applied;
+    into.homs_found += from.homs_found;
+    into.satisfied_skips += from.satisfied_skips;
+    into.rounds += from.rounds;
+    into.truncated |= from.truncated;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnb_ir::prelude::*;
+
+    /// EC1-style schema: n chain relations with primary indexes, first j with
+    /// secondary indexes.
+    fn ec1_schema(n: usize, j: usize) -> Schema {
+        let mut schema = Schema::new();
+        for i in 1..=n {
+            schema.add_relation(
+                format!("R{i}"),
+                [
+                    (sym("K"), Type::Int),
+                    (sym("N"), Type::Int),
+                    (sym("D"), Type::Int),
+                ],
+            );
+            add_primary_index(&mut schema, sym(&format!("R{i}")), sym("K"), format!("PI{i}"));
+            if i <= j {
+                add_secondary_index(&mut schema, sym(&format!("R{i}")), sym("N"), format!("SI{i}"));
+            }
+        }
+        schema
+    }
+
+    fn ec1_query(n: usize) -> Query {
+        let mut q = Query::new();
+        let vars: Vec<Var> = (1..=n)
+            .map(|i| q.bind(&format!("r{i}"), Range::Name(sym(&format!("R{i}")))))
+            .collect();
+        for w in vars.windows(2) {
+            q.equate(PathExpr::from(w[0]).dot("N"), PathExpr::from(w[1]).dot("K"));
+        }
+        for (i, v) in vars.iter().enumerate() {
+            q.output(&format!("K{}", i + 1), PathExpr::from(*v).dot("K"));
+        }
+        q
+    }
+
+    /// All three strategies agree on EC1 (paper §5.3.1: "the three strategies
+    /// yielded the same number of generated plans in configurations EC1 and
+    /// EC3").
+    #[test]
+    fn strategies_agree_on_ec1() {
+        let schema = ec1_schema(3, 1);
+        let q = ec1_query(3);
+        let opt = Optimizer::new(schema);
+        let mut counts = Vec::new();
+        for strategy in [Strategy::Full, Strategy::Oqf, Strategy::Ocs] {
+            let res = opt.optimize(&q, &OptimizerConfig::with_strategy(strategy));
+            assert!(!res.timed_out, "{strategy} timed out");
+            counts.push(res.plans.len());
+        }
+        assert_eq!(counts[0], counts[1], "FB vs OQF");
+        assert_eq!(counts[0], counts[2], "FB vs OCS");
+        assert!(counts[0] >= 4, "at least scan/index per loop: {counts:?}");
+    }
+
+    /// OQF explores far fewer subqueries than FB on EC1 (Example 3.1's
+    /// analysis: 2n + assembly vs 2^(2n)).
+    #[test]
+    fn oqf_explores_less_than_fb() {
+        let schema = ec1_schema(3, 0);
+        let q = ec1_query(3);
+        let opt = Optimizer::new(schema);
+        let fb = opt.optimize(&q, &OptimizerConfig::with_strategy(Strategy::Full));
+        let oqf = opt.optimize(&q, &OptimizerConfig::with_strategy(Strategy::Oqf));
+        assert_eq!(fb.plans.len(), oqf.plans.len());
+        assert!(
+            oqf.explored < fb.explored,
+            "OQF {} vs FB {}",
+            oqf.explored,
+            fb.explored
+        );
+        assert_eq!(oqf.fragments, 3);
+    }
+
+    /// Best-first ordering puts a physical-structure plan at the front.
+    #[test]
+    fn best_first_ordering() {
+        let schema = ec1_schema(2, 0);
+        let q = ec1_query(2);
+        let opt = Optimizer::new(schema);
+        let res = opt.optimize(&q, &OptimizerConfig::with_strategy(Strategy::Full));
+        assert!(
+            !res.plans[0].physical_used.is_empty(),
+            "first plan should use indexes"
+        );
+        let last = res.plans.last().unwrap();
+        assert!(last.physical_used.len() <= res.plans[0].physical_used.len());
+    }
+
+    /// plan_info reports physical usage.
+    #[test]
+    fn plan_info_metadata() {
+        let schema = ec1_schema(1, 0);
+        let q = ec1_query(1);
+        let opt = Optimizer::new(schema);
+        let res = opt.optimize(&q, &OptimizerConfig::with_strategy(Strategy::Full));
+        assert_eq!(res.plans.len(), 2);
+        let idx_plan = res
+            .plans
+            .iter()
+            .find(|p| !p.physical_used.is_empty())
+            .unwrap();
+        assert_eq!(idx_plan.physical_used, vec![sym("PI1")]);
+    }
+}

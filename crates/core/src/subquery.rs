@@ -1,0 +1,266 @@
+//! Subquery induction (Appendix B).
+//!
+//! Given a chased query `U` and a subset `S` of its bindings, the *induced
+//! subquery* keeps exactly the bindings in `S`, the closure equalities
+//! mentioning only `S`-variables, and the original output paths rewritten
+//! (through the congruence) onto `S`-variables. Removal candidates whose
+//! output or range paths cannot be recovered over `S` are invalid.
+
+use cnb_ir::prelude::{Equality, PathExpr, Query, Range, Symbol};
+
+use crate::bitset::VarSet;
+use crate::canon::CanonDb;
+
+/// Induces the subquery of `db.query` on the binding subset `keep`, using
+/// `select` as the output to recover (usually the original query's select).
+///
+/// Returns `None` when the subset is not a valid subquery: an output path or
+/// a kept binding's range cannot be expressed over the kept variables.
+pub fn induce_subquery(
+    db: &mut CanonDb,
+    keep: &VarSet,
+    select: &[(Symbol, PathExpr)],
+) -> Option<Query> {
+    let mut out = Query::new();
+    out.reserve_vars(db.query.var_bound());
+
+    // From-clause: kept bindings in original order; range paths must be
+    // expressible over *earlier* kept variables, and every dictionary lookup
+    // inside a range must stay *guarded* — its key congruent to an earlier
+    // kept `dom` binding of the same dictionary. (Ranging over `M[o].N` with
+    // `o` not known to be in `dom M` is not well-defined in the paper's
+    // dictionary semantics; this is why Example 3.3's original query keeps
+    // its `dom M2` binding rather than being "minimized" away.)
+    let mut earlier = VarSet::new();
+    let mut dom_guards: Vec<(cnb_ir::prelude::Symbol, cnb_ir::prelude::Var)> = Vec::new();
+    let bindings = db.query.from.clone();
+    for b in &bindings {
+        if !keep.contains(b.var) {
+            continue;
+        }
+        let range = match &b.range {
+            Range::Name(s) => Range::Name(*s),
+            Range::Dom(s) => Range::Dom(*s),
+            Range::Expr(p) => {
+                let t = db.cong.intern_path(p);
+                db.cong.saturate_class_over(t, &earlier);
+                let candidates = db.cong.class_paths_over(t, &earlier);
+                let mut chosen = None;
+                for cand in candidates {
+                    let path = db.cong.path_of(cand);
+                    if lookups_guarded(db, &path, &dom_guards) {
+                        chosen = Some(path);
+                        break;
+                    }
+                }
+                Range::Expr(chosen?)
+            }
+        };
+        if let Range::Dom(s) = &range {
+            dom_guards.push((*s, b.var));
+        }
+        out.from.push(cnb_ir::prelude::Binding {
+            var: b.var,
+            name: b.name,
+            range,
+        });
+        earlier.insert(b.var);
+    }
+
+    // Where-clause: the restriction of the congruence to kept variables.
+    out.where_ = restricted_where(db, keep);
+
+    // Select-clause: rewrite each output path over the kept variables.
+    for (label, p) in select {
+        let t = db.cong.intern_path(p);
+        let rw = db.cong.rewrite_over(t, keep)?;
+        out.select.push((*label, db.cong.path_of(rw)));
+    }
+
+    debug_assert!(out.validate().is_ok(), "induced subquery ill-formed");
+    Some(out)
+}
+
+/// The restriction of `db`'s congruence to the variables in `keep`, as a
+/// *reduced* set of equalities: every class is saturated with constructible
+/// representatives (so a join condition like `r1.B = r2.A` survives the
+/// removal of `r1` as `I[k].B = r2.A` when `r1 ≡ I[k]`), then chained —
+/// skipping equalities already derivable by congruence from the ones emitted
+/// so far (e.g. `M[k] = M[o]` is redundant once `k = o` is present).
+pub fn restricted_where(db: &mut CanonDb, keep: &VarSet) -> Vec<Equality> {
+    let mut out = Vec::new();
+    // Collect per-class member lists first; process classes whose smallest
+    // member is smallest first, so root equalities suppress derived ones.
+    let mut classes: Vec<Vec<crate::congruence::TermId>> = Vec::new();
+    for rep in db.cong.class_reps() {
+        db.cong.saturate_class_over(rep, keep);
+        let members = db.cong.class_paths_over(rep, keep);
+        if members.len() >= 2 {
+            classes.push(members);
+        }
+    }
+    classes.sort_by_key(|ms| db.cong.term_size(ms[0]));
+    let mut redux = crate::congruence::Congruence::new();
+    for members in classes {
+        let first = db.cong.path_of(members[0]);
+        let ft = redux.intern_path(&first);
+        for &m in &members[1..] {
+            let mp = db.cong.path_of(m);
+            let mt = redux.intern_path(&mp);
+            if redux.equal(ft, mt) {
+                continue;
+            }
+            redux.merge(ft, mt);
+            out.push(Equality::new(first.clone(), mp));
+        }
+    }
+    out
+}
+
+/// True if every dictionary lookup in `p` has a key provably equal to a
+/// `dom`-bound guard variable of the same dictionary.
+fn lookups_guarded(
+    db: &mut CanonDb,
+    p: &PathExpr,
+    guards: &[(cnb_ir::prelude::Symbol, cnb_ir::prelude::Var)],
+) -> bool {
+    match p {
+        PathExpr::Var(_) | PathExpr::Const(_) => true,
+        PathExpr::Field(base, _) => lookups_guarded(db, base, guards),
+        PathExpr::Lookup(dict, key) => {
+            if !lookups_guarded(db, key, guards) {
+                return false;
+            }
+            guards
+                .iter()
+                .any(|(d, v)| d == dict && db.implied(key, &PathExpr::Var(*v)))
+        }
+        PathExpr::MkStruct(fields) => fields.iter().all(|(_, q)| lookups_guarded(db, q, guards)),
+    }
+}
+
+/// The set of all bound variables of a query.
+pub fn all_bindings(q: &Query) -> VarSet {
+    VarSet::from_iter(q.from.iter().map(|b| b.var))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::{chase_query, ChaseConfig};
+    use cnb_ir::prelude::*;
+
+    /// R(K, N) with primary index PI; query scans R. After chasing, the
+    /// subquery on {k} alone is the index-only plan.
+    fn chased_index_db() -> (CanonDb, Query) {
+        let mut schema = Schema::new();
+        schema.add_relation("R", [(sym("K"), Type::Int), (sym("N"), Type::Int)]);
+        add_primary_index(&mut schema, sym("R"), sym("K"), "PI");
+        let mut q = Query::new();
+        let r = q.bind("r", Range::Name(sym("R")));
+        q.output("K", PathExpr::from(r).dot("K"));
+        q.output("N", PathExpr::from(r).dot("N"));
+        let (db, _) = chase_query(&q, &schema.all_constraints(), ChaseConfig::default());
+        (db, q)
+    }
+
+    #[test]
+    fn index_only_subquery() {
+        let (mut db, q0) = chased_index_db();
+        let k = db.query.from[1].var;
+        let keep = VarSet::from_iter([k]);
+        let sub = induce_subquery(&mut db, &keep, &q0.select).expect("valid");
+        assert_eq!(sub.from.len(), 1);
+        assert_eq!(sub.from[0].range, Range::Dom(sym("PI")));
+        // Outputs rewritten through PI[k].
+        let k_out = &sub.select[0].1;
+        let n_out = &sub.select[1].1;
+        // K = k itself or PI[k].K; N = PI[k].N.
+        assert!(
+            *k_out == PathExpr::from(k)
+                || *k_out == PathExpr::from(k).lookup_in("PI").dot("K"),
+            "{k_out}"
+        );
+        assert_eq!(*n_out, PathExpr::from(k).lookup_in("PI").dot("N"));
+        sub.validate().unwrap();
+    }
+
+    #[test]
+    fn table_only_subquery() {
+        let (mut db, q0) = chased_index_db();
+        let r = db.query.from[0].var;
+        let keep = VarSet::from_iter([r]);
+        let sub = induce_subquery(&mut db, &keep, &q0.select).expect("valid");
+        assert_eq!(sub.from.len(), 1);
+        assert_eq!(sub.from[0].range, Range::Name(sym("R")));
+        assert_eq!(sub.select[0].1, PathExpr::from(r).dot("K"));
+    }
+
+    #[test]
+    fn unrecoverable_output_is_invalid() {
+        // Query over R and S; output needs S; keeping only R is invalid.
+        let mut q = Query::new();
+        let r = q.bind("r", Range::Name(sym("R")));
+        let s = q.bind("s", Range::Name(sym("S")));
+        q.output("A", PathExpr::from(s).dot("A"));
+        let mut db = CanonDb::new(q.clone());
+        let keep = VarSet::from_iter([r]);
+        assert!(induce_subquery(&mut db, &keep, &q.select).is_none());
+    }
+
+    #[test]
+    fn output_recovered_through_equality() {
+        // Output s.A but r.B = s.A, so keeping r suffices.
+        let mut q = Query::new();
+        let r = q.bind("r", Range::Name(sym("R")));
+        let s = q.bind("s", Range::Name(sym("S")));
+        q.equate(PathExpr::from(r).dot("B"), PathExpr::from(s).dot("A"));
+        q.output("A", PathExpr::from(s).dot("A"));
+        let mut db = CanonDb::new(q.clone());
+        let keep = VarSet::from_iter([r]);
+        let sub = induce_subquery(&mut db, &keep, &q.select).expect("valid");
+        assert_eq!(sub.select[0].1, PathExpr::from(r).dot("B"));
+        assert!(sub.where_.is_empty(), "no kept-vars-only equalities remain");
+    }
+
+    #[test]
+    fn where_clause_is_restricted_closure() {
+        // r.A = s.A and s.A = t.A; keeping {r, t} must yield r.A = t.A.
+        let mut q = Query::new();
+        let r = q.bind("r", Range::Name(sym("R")));
+        let s = q.bind("s", Range::Name(sym("S")));
+        let t = q.bind("t", Range::Name(sym("T")));
+        q.equate(PathExpr::from(r).dot("A"), PathExpr::from(s).dot("A"));
+        q.equate(PathExpr::from(s).dot("A"), PathExpr::from(t).dot("A"));
+        q.output("A", PathExpr::from(r).dot("A"));
+        let mut db = CanonDb::new(q.clone());
+        let keep = VarSet::from_iter([r, t]);
+        let sub = induce_subquery(&mut db, &keep, &q.select).expect("valid");
+        let mut sdb = CanonDb::new(sub);
+        assert!(
+            sdb.implied(&PathExpr::from(r).dot("A"), &PathExpr::from(t).dot("A")),
+            "transitive equality must survive the restriction"
+        );
+    }
+
+    #[test]
+    fn range_dependency_blocks_removal() {
+        // o ranges over M[k].N; removing k while keeping o is invalid.
+        let mut q = Query::new();
+        let k = q.bind("k", Range::Dom(sym("M")));
+        let o = q.bind("o", Range::Expr(PathExpr::from(k).lookup_in("M").dot("N")));
+        q.output("o", PathExpr::from(o));
+        let mut db = CanonDb::new(q.clone());
+        let keep = VarSet::from_iter([o]);
+        assert!(induce_subquery(&mut db, &keep, &q.select).is_none());
+    }
+
+    #[test]
+    fn full_set_reproduces_query_semantics() {
+        let (mut db, q0) = chased_index_db();
+        let keep = all_bindings(&db.query);
+        let sub = induce_subquery(&mut db, &keep, &q0.select).expect("valid");
+        assert_eq!(sub.from.len(), db.query.from.len());
+        sub.validate().unwrap();
+    }
+}

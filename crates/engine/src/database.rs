@@ -1,0 +1,227 @@
+//! In-memory storage: tables (sets of struct rows) and dictionaries.
+//!
+//! This is the workspace's substitute for the paper's DB2 execution engine
+//! (§5.4). Logical relations and class extents are loaded here; physical
+//! structures (indexes, materialized views, ASRs) are *materialized* from the
+//! logical data according to each skeleton's [`PhysicalSpec`].
+
+use std::collections::HashMap;
+
+use cnb_ir::prelude::*;
+
+use crate::error::EngineError;
+use crate::eval::execute;
+
+/// An in-memory database instance for a schema.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    tables: HashMap<Symbol, Vec<Value>>,
+    dicts: HashMap<Symbol, HashMap<Value, Value>>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Inserts a row (must be a struct value) into a table, creating it on
+    /// first use.
+    pub fn insert_row(&mut self, table: Symbol, row: Value) {
+        debug_assert!(matches!(row, Value::Struct(_)), "rows are structs");
+        self.tables.entry(table).or_default().push(row);
+    }
+
+    /// Bulk-loads a table.
+    pub fn load_table(&mut self, table: Symbol, rows: Vec<Value>) {
+        self.tables.insert(table, rows);
+    }
+
+    /// Sets a dictionary entry.
+    pub fn set_entry(&mut self, dict: Symbol, key: Value, entry: Value) {
+        self.dicts.entry(dict).or_default().insert(key, entry);
+    }
+
+    /// The rows of a table (empty slice if absent).
+    pub fn table(&self, table: Symbol) -> &[Value] {
+        self.tables.get(&table).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// A dictionary (None if absent).
+    pub fn dict(&self, dict: Symbol) -> Option<&HashMap<Value, Value>> {
+        self.dicts.get(&dict)
+    }
+
+    /// Cardinality of a collection (rows for tables, keys for dictionaries).
+    pub fn cardinality(&self, name: Symbol) -> usize {
+        if let Some(t) = self.tables.get(&name) {
+            t.len()
+        } else if let Some(d) = self.dicts.get(&name) {
+            d.len()
+        } else {
+            0
+        }
+    }
+
+    /// Cardinalities of every collection, for seeding a cost model.
+    pub fn cardinalities(&self) -> HashMap<Symbol, f64> {
+        let mut out = HashMap::new();
+        for (n, t) in &self.tables {
+            out.insert(*n, t.len() as f64);
+        }
+        for (n, d) in &self.dicts {
+            out.insert(*n, d.len() as f64);
+        }
+        out
+    }
+
+    /// Materializes every physical structure declared in `schema` from the
+    /// logical data currently loaded, following each skeleton's spec.
+    /// Views are evaluated with the engine itself.
+    pub fn materialize_physical(&mut self, schema: &Schema) -> Result<(), EngineError> {
+        for sk in schema.skeletons() {
+            let name = sk.physical_name;
+            match &sk.spec {
+                PhysicalSpec::PrimaryIndex { rel, key } => {
+                    let rows = self.table(*rel).to_vec();
+                    for row in rows {
+                        let k = row
+                            .field(*key)
+                            .ok_or_else(|| {
+                                EngineError::new(format!("{rel} row lacks key attribute {key}"))
+                            })?
+                            .clone();
+                        self.set_entry(name, k, row);
+                    }
+                }
+                PhysicalSpec::CompositeIndex { rel, keys } => {
+                    let rows = self.table(*rel).to_vec();
+                    for row in rows {
+                        let mut fields = Vec::with_capacity(keys.len());
+                        for k in keys {
+                            let v = row.field(*k).ok_or_else(|| {
+                                EngineError::new(format!("{rel} row lacks attribute {k}"))
+                            })?;
+                            fields.push((*k, v.clone()));
+                        }
+                        self.set_entry(name, Value::record(fields), row);
+                    }
+                }
+                PhysicalSpec::SecondaryIndex { rel, attr } => {
+                    let rows = self.table(*rel).to_vec();
+                    let mut buckets: HashMap<Value, Vec<Value>> = HashMap::new();
+                    for row in rows {
+                        let k = row
+                            .field(*attr)
+                            .ok_or_else(|| {
+                                EngineError::new(format!("{rel} row lacks attribute {attr}"))
+                            })?
+                            .clone();
+                        buckets.entry(k).or_default().push(row);
+                    }
+                    for (k, rows) in buckets {
+                        self.set_entry(name, k, Value::set(rows));
+                    }
+                }
+                PhysicalSpec::View(def) => {
+                    let rows = execute(self, def)?.rows;
+                    self.load_table(name, rows);
+                }
+                PhysicalSpec::Opaque => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(fields: &[(&str, i64)]) -> Value {
+        Value::record(fields.iter().map(|(n, v)| (sym(n), Value::Int(*v))))
+    }
+
+    #[test]
+    fn insert_and_scan() {
+        let mut db = Database::new();
+        db.insert_row(sym("R"), row(&[("K", 1), ("N", 10)]));
+        db.insert_row(sym("R"), row(&[("K", 2), ("N", 20)]));
+        assert_eq!(db.table(sym("R")).len(), 2);
+        assert_eq!(db.cardinality(sym("R")), 2);
+        assert_eq!(db.table(sym("missing")).len(), 0);
+    }
+
+    #[test]
+    fn materialize_primary_index() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", [(sym("K"), Type::Int), (sym("N"), Type::Int)]);
+        add_primary_index(&mut schema, sym("R"), sym("K"), "PI");
+        let mut db = Database::new();
+        db.insert_row(sym("R"), row(&[("K", 1), ("N", 10)]));
+        db.insert_row(sym("R"), row(&[("K", 2), ("N", 20)]));
+        db.materialize_physical(&schema).unwrap();
+        let pi = db.dict(sym("PI")).unwrap();
+        assert_eq!(pi.len(), 2);
+        assert_eq!(
+            pi[&Value::Int(1)].field(sym("N")),
+            Some(&Value::Int(10))
+        );
+    }
+
+    #[test]
+    fn materialize_secondary_index_buckets() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", [(sym("K"), Type::Int), (sym("N"), Type::Int)]);
+        add_secondary_index(&mut schema, sym("R"), sym("N"), "SI");
+        let mut db = Database::new();
+        db.insert_row(sym("R"), row(&[("K", 1), ("N", 10)]));
+        db.insert_row(sym("R"), row(&[("K", 2), ("N", 10)]));
+        db.insert_row(sym("R"), row(&[("K", 3), ("N", 30)]));
+        db.materialize_physical(&schema).unwrap();
+        let si = db.dict(sym("SI")).unwrap();
+        assert_eq!(si.len(), 2);
+        assert_eq!(si[&Value::Int(10)].elements().unwrap().len(), 2);
+        assert_eq!(si[&Value::Int(30)].elements().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn materialize_view_by_evaluation() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", [(sym("A"), Type::Int), (sym("B"), Type::Int)]);
+        schema.add_relation("S", [(sym("A"), Type::Int), (sym("C"), Type::Int)]);
+        let mut def = Query::new();
+        let r = def.bind("r", Range::Name(sym("R")));
+        let s = def.bind("s", Range::Name(sym("S")));
+        def.equate(PathExpr::from(r).dot("A"), PathExpr::from(s).dot("A"));
+        def.output("B", PathExpr::from(r).dot("B"));
+        def.output("C", PathExpr::from(s).dot("C"));
+        add_materialized_view(&mut schema, "V", &def);
+
+        let mut db = Database::new();
+        db.insert_row(sym("R"), row(&[("A", 1), ("B", 100)]));
+        db.insert_row(sym("R"), row(&[("A", 2), ("B", 200)]));
+        db.insert_row(sym("S"), row(&[("A", 1), ("C", 7)]));
+        db.materialize_physical(&schema).unwrap();
+        let v = db.table(sym("V"));
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].field(sym("B")), Some(&Value::Int(100)));
+        assert_eq!(v[0].field(sym("C")), Some(&Value::Int(7)));
+    }
+
+    #[test]
+    fn composite_index_keys() {
+        let mut schema = Schema::new();
+        schema.add_relation(
+            "R",
+            [(sym("A"), Type::Int), (sym("B"), Type::Int), (sym("E"), Type::Int)],
+        );
+        add_composite_index(&mut schema, sym("R"), &[sym("A"), sym("B")], "I");
+        let mut db = Database::new();
+        db.insert_row(sym("R"), row(&[("A", 1), ("B", 2), ("E", 3)]));
+        db.materialize_physical(&schema).unwrap();
+        let i = db.dict(sym("I")).unwrap();
+        let key = Value::record([(sym("A"), Value::Int(1)), (sym("B"), Value::Int(2))]);
+        assert_eq!(i[&key].field(sym("E")), Some(&Value::Int(3)));
+    }
+}

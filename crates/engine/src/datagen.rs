@@ -1,0 +1,136 @@
+//! Synthetic data generation with controlled join selectivities.
+//!
+//! The paper's §5.4 dataset: 5 000 tuples per relation, 4 % selectivity for
+//! hub–corner joins and 2 % for hub–hub joins. Selectivity here means
+//! `|R ⋈ S| / |R|`: a join attribute drawn uniformly from a domain of size
+//! `|S| / selectivity` yields the desired expected match count.
+
+use cnb_ir::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Column generators for [`gen_table`].
+#[derive(Clone, Debug)]
+pub enum ColumnGen {
+    /// Sequential values `0, 1, 2, …` (unique keys).
+    Serial,
+    /// Uniform integers in `[0, n)`.
+    Uniform(i64),
+    /// A fixed value.
+    Const(i64),
+}
+
+/// A column specification.
+#[derive(Clone, Debug)]
+pub struct ColumnSpec {
+    /// Attribute name.
+    pub name: Symbol,
+    /// How values are drawn.
+    pub gen: ColumnGen,
+}
+
+impl ColumnSpec {
+    /// Shorthand constructor.
+    pub fn new(name: &str, gen: ColumnGen) -> ColumnSpec {
+        ColumnSpec {
+            name: sym(name),
+            gen,
+        }
+    }
+}
+
+/// Generates `rows` struct rows from the column specs.
+pub fn gen_table(rows: usize, cols: &[ColumnSpec], rng: &mut StdRng) -> Vec<Value> {
+    (0..rows)
+        .map(|i| {
+            Value::record(cols.iter().map(|c| {
+                let v = match c.gen {
+                    ColumnGen::Serial => i as i64,
+                    ColumnGen::Uniform(n) => rng.gen_range(0..n.max(1)),
+                    ColumnGen::Const(v) => v,
+                };
+                (c.name, Value::Int(v))
+            }))
+        })
+        .collect()
+}
+
+/// Domain size giving join selectivity `sel` against a table of `target_card`
+/// unique keys: `target_card / sel`.
+pub fn domain_for_selectivity(target_card: usize, sel: f64) -> i64 {
+    assert!(sel > 0.0 && sel <= 1.0);
+    ((target_card as f64) / sel).round() as i64
+}
+
+/// A deterministic RNG for reproducible datasets.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_is_unique() {
+        let mut r = rng(1);
+        let t = gen_table(100, &[ColumnSpec::new("K", ColumnGen::Serial)], &mut r);
+        let mut keys: Vec<i64> = t
+            .iter()
+            .map(|row| match row.field(sym("K")) {
+                Some(Value::Int(i)) => *i,
+                _ => panic!(),
+            })
+            .collect();
+        keys.dedup();
+        assert_eq!(keys.len(), 100);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut r = rng(2);
+        let t = gen_table(1000, &[ColumnSpec::new("A", ColumnGen::Uniform(10))], &mut r);
+        assert!(t.iter().all(|row| match row.field(sym("A")) {
+            Some(Value::Int(i)) => (0..10).contains(i),
+            _ => false,
+        }));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let mut r = rng(42);
+            gen_table(50, &[ColumnSpec::new("A", ColumnGen::Uniform(1000))], &mut r)
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn selectivity_domain_math() {
+        assert_eq!(domain_for_selectivity(5000, 0.04), 125_000);
+        assert_eq!(domain_for_selectivity(5000, 0.02), 250_000);
+    }
+
+    #[test]
+    fn empirical_selectivity_close_to_target() {
+        // Join R.F (uniform over domain) against S.K (serial): expected
+        // matches = rows * sel.
+        let rows = 5000usize;
+        let sel = 0.04;
+        let dom = domain_for_selectivity(rows, sel);
+        let mut r = rng(7);
+        let fks = gen_table(rows, &[ColumnSpec::new("F", ColumnGen::Uniform(dom))], &mut r);
+        let matches = fks
+            .iter()
+            .filter(|row| match row.field(sym("F")) {
+                Some(Value::Int(i)) => (*i as usize) < rows,
+                _ => false,
+            })
+            .count();
+        let expected = (rows as f64 * sel) as usize;
+        assert!(
+            matches > expected / 2 && matches < expected * 2,
+            "matches {matches} vs expected {expected}"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Engine errors.
+
+use std::fmt;
+
+/// An execution-engine error with a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EngineError(String);
+
+impl EngineError {
+    /// Creates an error.
+    pub fn new(msg: impl Into<String>) -> EngineError {
+        EngineError(msg.into())
+    }
+
+    /// The message.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "engine error: {}", self.0)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = EngineError::new("boom");
+        assert_eq!(e.to_string(), "engine error: boom");
+        assert_eq!(e.message(), "boom");
+    }
+}

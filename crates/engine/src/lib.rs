@@ -1,0 +1,19 @@
+//! # cnb-engine — the in-memory execution substrate
+//!
+//! The paper executed its plans on IBM DB2 6.1 (§5.4); this crate is the
+//! from-scratch substitute: in-memory tables and dictionaries, physical
+//! structure materialization driven by skeleton specs, a hash-join plan
+//! interpreter with greedy join ordering, and a seeded data generator with
+//! controlled join selectivities. Relative plan execution times — the only
+//! thing figs. 9 and 10 depend on — are preserved.
+
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod datagen;
+pub mod error;
+pub mod eval;
+
+pub use database::Database;
+pub use error::EngineError;
+pub use eval::{execute, ExecResult, ExecStats};

@@ -1,0 +1,625 @@
+//! An OQL-like surface syntax for queries and constraints.
+//!
+//! The paper's prototype offers "a language for describing queries and
+//! constraints that is as user friendly as OQL" (§4). This module parses
+//! that concrete syntax into the IR:
+//!
+//! ```text
+//! select struct(A = r.A, E = r.E)
+//! from R r, S s
+//! where r.B = 7 and r.A = s.A
+//! ```
+//!
+//! ```text
+//! forall (r in R) exists (s in S) r.A = s.A
+//! forall (r in R)(r2 in R) r.K = r2.K => r = r2
+//! forall (k in dom M1)(o in M1[k].N)
+//!   => exists (k2 in dom M2)(o2 in M2[k2].P) k2 = o and o2 = k
+//! ```
+//!
+//! Identifier resolution: in *range* position a bare identifier is a
+//! collection name; in *path* position it is a bound variable. `dom M`
+//! ranges over a dictionary's keys; `M[k]` is a dictionary lookup.
+
+use std::fmt;
+
+use crate::constraint::Constraint;
+use crate::path::{Equality, PathExpr, Var};
+use crate::query::{Query, Range};
+use crate::symbol::Symbol;
+use crate::value::Value;
+
+/// A parse error with position information.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+// ------------------------------------------------------------------ lexer --
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Punct(char), // ( ) [ ] , . =
+    Arrow,       // =>
+    Eof,
+}
+
+struct Lexer {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+fn lex(input: &str) -> Result<Lexer, ParseError> {
+    let bytes = input.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c == '-' && i + 1 < bytes.len() && bytes[i + 1] == b'-' {
+            // Line comment.
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        if c.is_ascii_alphabetic() || c == '_' {
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            toks.push((Tok::Ident(input[start..i].to_string()), start));
+        } else if c.is_ascii_digit()
+            || (c == '-' && i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit())
+        {
+            i += 1;
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len()
+                && (bytes[i + 1] as char).is_ascii_digit()
+            {
+                i += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let v: f64 = input[start..i].parse().map_err(|_| ParseError {
+                    message: "bad float literal".into(),
+                    offset: start,
+                })?;
+                toks.push((Tok::Float(v), start));
+            } else {
+                let v: i64 = input[start..i].parse().map_err(|_| ParseError {
+                    message: "bad integer literal".into(),
+                    offset: start,
+                })?;
+                toks.push((Tok::Int(v), start));
+            }
+        } else if c == '\'' {
+            i += 1;
+            let s = i;
+            while i < bytes.len() && bytes[i] != b'\'' {
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err(ParseError {
+                    message: "unterminated string literal".into(),
+                    offset: start,
+                });
+            }
+            toks.push((Tok::Str(input[s..i].to_string()), start));
+            i += 1;
+        } else if c == '=' && i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+            toks.push((Tok::Arrow, start));
+            i += 2;
+        } else if "()[],.=:".contains(c) {
+            toks.push((Tok::Punct(if c == ':' { '=' } else { c }), start));
+            i += 1;
+        } else {
+            return Err(ParseError {
+                message: format!("unexpected character {c:?}"),
+                offset: i,
+            });
+        }
+    }
+    toks.push((Tok::Eof, input.len()));
+    Ok(Lexer { toks, pos: 0 })
+}
+
+impl Lexer {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn offset(&self) -> usize {
+        self.toks[self.pos].1
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: msg.into(),
+            offset: self.offset(),
+        })
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Punct(p) if *p == c => {
+                self.next();
+                Ok(())
+            }
+            other => self.err(format!("expected {c:?}, found {other:?}")),
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Ident(s) if s.eq_ignore_ascii_case(kw) => {
+                self.next();
+                Ok(())
+            }
+            other => self.err(format!("expected keyword {kw:?}, found {other:?}")),
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.next();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+}
+
+// ----------------------------------------------------------------- parser --
+
+const KEYWORDS: &[&str] = &[
+    "select", "from", "where", "and", "struct", "dom", "in", "forall", "exists", "true", "false",
+];
+
+struct Scope {
+    vars: Vec<(String, Var)>,
+}
+
+impl Scope {
+    fn lookup(&self, name: &str) -> Option<Var> {
+        self.vars
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Parses a path; bare identifiers resolve through `scope` (error if
+/// unbound).
+fn parse_path(lx: &mut Lexer, scope: &Scope) -> Result<PathExpr, ParseError> {
+    let mut base = parse_primary(lx, scope)?;
+    while matches!(lx.peek(), Tok::Punct('.')) {
+        lx.next();
+        let field = lx.ident()?;
+        base = base.dot(field.as_str());
+    }
+    Ok(base)
+}
+
+fn parse_primary(lx: &mut Lexer, scope: &Scope) -> Result<PathExpr, ParseError> {
+    match lx.peek().clone() {
+        Tok::Int(v) => {
+            lx.next();
+            Ok(PathExpr::Const(Value::Int(v)))
+        }
+        Tok::Float(v) => {
+            lx.next();
+            Ok(PathExpr::Const(Value::Float(v)))
+        }
+        Tok::Str(s) => {
+            lx.next();
+            Ok(PathExpr::Const(Value::str(&s)))
+        }
+        Tok::Ident(name) if name.eq_ignore_ascii_case("true") => {
+            lx.next();
+            Ok(PathExpr::Const(Value::Bool(true)))
+        }
+        Tok::Ident(name) if name.eq_ignore_ascii_case("false") => {
+            lx.next();
+            Ok(PathExpr::Const(Value::Bool(false)))
+        }
+        Tok::Ident(name) if name.eq_ignore_ascii_case("struct") => {
+            lx.next();
+            lx.expect_punct('(')?;
+            let mut fields = Vec::new();
+            loop {
+                let label = lx.ident()?;
+                lx.expect_punct('=')?;
+                let p = parse_path(lx, scope)?;
+                fields.push((Symbol::new(&label), p));
+                match lx.peek() {
+                    Tok::Punct(',') => {
+                        lx.next();
+                    }
+                    _ => break,
+                }
+            }
+            lx.expect_punct(')')?;
+            Ok(PathExpr::MkStruct(fields))
+        }
+        Tok::Ident(name) => {
+            lx.next();
+            // Dictionary lookup `M[path]` or a variable reference.
+            if matches!(lx.peek(), Tok::Punct('[')) {
+                lx.next();
+                let key = parse_path(lx, scope)?;
+                lx.expect_punct(']')?;
+                Ok(PathExpr::Lookup(Symbol::new(&name), Box::new(key)))
+            } else {
+                match scope.lookup(&name) {
+                    Some(v) => Ok(PathExpr::Var(v)),
+                    None => Err(ParseError {
+                        message: format!("unbound variable `{name}`"),
+                        offset: lx.offset(),
+                    }),
+                }
+            }
+        }
+        other => lx.err(format!("expected a path, found {other:?}")),
+    }
+}
+
+/// Parses a range: `dom M`, a collection name, or a set-valued path.
+fn parse_range(lx: &mut Lexer, scope: &Scope) -> Result<Range, ParseError> {
+    if lx.at_kw("dom") {
+        lx.next();
+        let name = lx.ident()?;
+        return Ok(Range::Dom(Symbol::new(&name)));
+    }
+    // A bare identifier not followed by `[` or `.` is a collection name.
+    if let Tok::Ident(name) = lx.peek().clone() {
+        let save = lx.pos;
+        lx.next();
+        if !matches!(lx.peek(), Tok::Punct('[') | Tok::Punct('.')) {
+            return Ok(Range::Name(Symbol::new(&name)));
+        }
+        lx.pos = save;
+    }
+    Ok(Range::Expr(parse_path(lx, scope)?))
+}
+
+fn parse_equality(lx: &mut Lexer, scope: &Scope) -> Result<Equality, ParseError> {
+    let lhs = parse_path(lx, scope)?;
+    lx.expect_punct('=')?;
+    let rhs = parse_path(lx, scope)?;
+    Ok(Equality { lhs, rhs })
+}
+
+fn parse_conjunction(lx: &mut Lexer, scope: &Scope) -> Result<Vec<Equality>, ParseError> {
+    let mut out = vec![parse_equality(lx, scope)?];
+    while lx.at_kw("and") {
+        lx.next();
+        out.push(parse_equality(lx, scope)?);
+    }
+    Ok(out)
+}
+
+/// Parses a query in the paper's OQL-like syntax.
+pub fn parse_query(input: &str) -> Result<Query, ParseError> {
+    let mut lx = lex(input)?;
+    let mut q = Query::new();
+    let mut scope = Scope { vars: Vec::new() };
+
+    lx.expect_kw("select")?;
+    lx.expect_kw("struct")?;
+    lx.expect_punct('(')?;
+    // Select labels reference from-clause variables: parse them *after* the
+    // from clause by saving the token window.
+    let select_start = lx.pos;
+    let mut depth = 1usize;
+    while depth > 0 {
+        match lx.next() {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => depth -= 1,
+            Tok::Eof => return lx.err("unterminated select clause"),
+            _ => {}
+        }
+    }
+    let select_end = lx.pos - 1; // position of the closing ')'
+
+    lx.expect_kw("from")?;
+    loop {
+        let range = parse_range(&mut lx, &scope)?;
+        let name = lx.ident()?;
+        if KEYWORDS.contains(&name.to_ascii_lowercase().as_str()) {
+            return lx.err(format!("`{name}` cannot be used as a variable name"));
+        }
+        let var = q.bind(&name, range);
+        scope.vars.push((name, var));
+        match lx.peek() {
+            Tok::Punct(',') => {
+                lx.next();
+            }
+            _ => break,
+        }
+    }
+    if lx.at_kw("where") {
+        lx.next();
+        q.where_ = parse_conjunction(&mut lx, &scope)?;
+    }
+    match lx.peek() {
+        Tok::Eof => {}
+        other => return lx.err(format!("trailing input: {other:?}")),
+    }
+
+    // Now parse the saved select window with the full scope.
+    let mut slx = Lexer {
+        toks: lx.toks[select_start..=select_end].to_vec(),
+        pos: 0,
+    };
+    // Replace the final ')' with Eof for clean termination.
+    let last = slx.toks.len() - 1;
+    slx.toks[last] = (Tok::Eof, lx.toks[select_end].1);
+    loop {
+        let label = slx.ident()?;
+        slx.expect_punct('=')?;
+        let p = parse_path(&mut slx, &scope)?;
+        q.select.push((Symbol::new(&label), p));
+        match slx.peek() {
+            Tok::Punct(',') => {
+                slx.next();
+            }
+            _ => break,
+        }
+    }
+
+    q.validate().map_err(|m| ParseError {
+        message: m,
+        offset: 0,
+    })?;
+    Ok(q)
+}
+
+/// Parses a constraint:
+/// `forall (x in R)... [premise] => [exists (y in S)...] conclusion`.
+pub fn parse_constraint(name: &str, input: &str) -> Result<Constraint, ParseError> {
+    let mut lx = lex(input)?;
+    let mut c = Constraint::new(name);
+    let mut scope = Scope { vars: Vec::new() };
+
+    lx.expect_kw("forall")?;
+    while matches!(lx.peek(), Tok::Punct('(')) {
+        lx.next();
+        let vname = lx.ident()?;
+        lx.expect_kw("in")?;
+        let range = parse_range(&mut lx, &scope)?;
+        lx.expect_punct(')')?;
+        let var = c.forall(&vname, range);
+        scope.vars.push((vname, var));
+    }
+    if !matches!(lx.peek(), Tok::Arrow) {
+        c.premise = parse_conjunction(&mut lx, &scope)?;
+    }
+    match lx.peek() {
+        Tok::Arrow => {
+            lx.next();
+        }
+        other => return lx.err(format!("expected `=>`, found {other:?}")),
+    }
+    if lx.at_kw("exists") {
+        lx.next();
+        while matches!(lx.peek(), Tok::Punct('(')) {
+            lx.next();
+            let vname = lx.ident()?;
+            lx.expect_kw("in")?;
+            let range = parse_range(&mut lx, &scope)?;
+            lx.expect_punct(')')?;
+            let var = c.exists(&vname, range);
+            scope.vars.push((vname, var));
+        }
+    }
+    c.conclusion = parse_conjunction(&mut lx, &scope)?;
+    match lx.peek() {
+        Tok::Eof => {}
+        other => return lx.err(format!("trailing input: {other:?}")),
+    }
+    c.validate().map_err(|m| ParseError {
+        message: m,
+        offset: 0,
+    })?;
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::ConstraintKind;
+    use crate::symbol::sym;
+
+    #[test]
+    fn parses_example_21_query() {
+        let q = parse_query(
+            "select struct(A = r.A, E = r.E) from R r where r.B = 7 and r.C = 'c0'",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 1);
+        assert_eq!(q.where_.len(), 2);
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.from[0].range, Range::Name(sym("R")));
+        assert_eq!(q.select[0].0, sym("A"));
+    }
+
+    #[test]
+    fn parses_joins() {
+        let q = parse_query(
+            "select struct(B = s.B) from R r, S s where r.A = s.A",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 2);
+        let r = q.from[0].var;
+        let s = q.from[1].var;
+        assert_eq!(
+            q.where_[0],
+            Equality::new(PathExpr::from(r).dot("A"), PathExpr::from(s).dot("A"))
+        );
+    }
+
+    #[test]
+    fn parses_dictionary_navigation() {
+        // Example 3.3's query.
+        let q = parse_query(
+            "select struct(F = k1, L = o2) \
+             from dom M1 k1, M1[k1].N o1, dom M2 k2, M2[k2].N o2 \
+             where o1 = k2",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 4);
+        assert_eq!(q.from[0].range, Range::Dom(sym("M1")));
+        let k1 = q.from[0].var;
+        assert_eq!(
+            q.from[1].range,
+            Range::Expr(PathExpr::from(k1).lookup_in("M1").dot("N"))
+        );
+        q.validate().unwrap();
+    }
+
+    #[test]
+    fn parses_index_lookup_select() {
+        // The paper's plan P for example 2.1 (Appendix A).
+        let q = parse_query(
+            "select struct(A = s.A, E = I[struct(A = s.A, B = 7, C = 'c0')].E) from S s",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 1);
+        match &q.select[1].1 {
+            PathExpr::Field(inner, e) => {
+                assert_eq!(*e, sym("E"));
+                assert!(matches!(**inner, PathExpr::Lookup(d, _) if d == sym("I")));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn colon_accepted_in_struct() {
+        let q = parse_query("select struct(A: r.A) from R r").unwrap();
+        assert_eq!(q.select[0].0, sym("A"));
+    }
+
+    #[test]
+    fn unbound_variable_rejected() {
+        let e = parse_query("select struct(A = z.A) from R r").unwrap_err();
+        assert!(e.message.contains("unbound"), "{e}");
+    }
+
+    #[test]
+    fn keyword_variable_rejected() {
+        assert!(parse_query("select struct(A = r.A) from R where").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_query("select struct(A = r.A) from R r garbage garbage").is_err());
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        let e = parse_query("select struct(A = r.A) from R r where r.C = 'oops").unwrap_err();
+        assert!(e.message.contains("unterminated"), "{e}");
+    }
+
+    #[test]
+    fn parses_ric_constraint() {
+        let c = parse_constraint("RIC", "forall (r in R) => exists (s in S) r.A = s.A").unwrap();
+        assert_eq!(c.kind(), ConstraintKind::Tgd);
+        assert_eq!(c.universal.len(), 1);
+        assert_eq!(c.existential.len(), 1);
+        assert_eq!(c.conclusion.len(), 1);
+    }
+
+    #[test]
+    fn parses_key_constraint() {
+        let c =
+            parse_constraint("KEY", "forall (r in R)(r2 in R) r.K = r2.K => r = r2").unwrap();
+        assert_eq!(c.kind(), ConstraintKind::Egd);
+        assert_eq!(c.premise.len(), 1);
+        assert_eq!(c.conclusion.len(), 1);
+    }
+
+    #[test]
+    fn parses_inverse_constraint() {
+        let c = parse_constraint(
+            "INV_1N",
+            "forall (k in dom M1)(o in M1[k].N) \
+             => exists (k2 in dom M2)(o2 in M2[k2].P) k2 = o and o2 = k",
+        )
+        .unwrap();
+        assert_eq!(c.universal.len(), 2);
+        assert_eq!(c.existential.len(), 2);
+        assert_eq!(c.conclusion.len(), 2);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn parsed_matches_programmatic() {
+        // The parser and the builders produce identical queries.
+        let parsed = parse_query(
+            "select struct(A = r.A) from R r, S s where r.A = s.A",
+        )
+        .unwrap();
+        let mut built = Query::new();
+        let r = built.bind("r", Range::Name(sym("R")));
+        let s = built.bind("s", Range::Name(sym("S")));
+        built.equate(PathExpr::from(r).dot("A"), PathExpr::from(s).dot("A"));
+        built.output("A", PathExpr::from(r).dot("A"));
+        assert_eq!(parsed.canonical_key(), built.canonical_key());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let q = parse_query(
+            "select struct(A = r.A) -- output\nfrom R r -- scan\nwhere r.B = 1",
+        )
+        .unwrap();
+        assert_eq!(q.where_.len(), 1);
+    }
+
+    #[test]
+    fn negative_and_float_literals() {
+        let q = parse_query("select struct(A = r.A) from R r where r.B = -3 and r.F = 1.5")
+            .unwrap();
+        assert_eq!(q.where_[0].rhs, PathExpr::Const(Value::Int(-3)));
+        assert_eq!(q.where_[1].rhs, PathExpr::Const(Value::Float(1.5)));
+    }
+}

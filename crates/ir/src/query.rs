@@ -1,0 +1,563 @@
+//! Path-conjunctive queries.
+//!
+//! A query has the OQL shape used throughout the paper:
+//!
+//! ```text
+//! select struct(L1 = P1, ..., Lk = Pk)
+//! from   Range1 x1, ..., Rangen xn
+//! where  Pa = Pb and ...
+//! ```
+//!
+//! where ranges are schema names (`R`), dictionary domains (`dom M`) or
+//! set-valued paths over earlier variables (`M[k].N`).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::path::{Equality, PathExpr, Var};
+use crate::symbol::Symbol;
+
+/// What a from-clause binding ranges over.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Range {
+    /// A named set or relation in the schema: `R x`.
+    Name(Symbol),
+    /// The domain of a named dictionary: `dom M k`.
+    Dom(Symbol),
+    /// A set-valued path over previously bound variables: `M[k].N o`.
+    Expr(PathExpr),
+}
+
+impl Range {
+    /// The schema name this range is anchored at: `R` for `Name(R)`, `M` for
+    /// `Dom(M)`, and the dictionary of the innermost lookup for `Expr` paths
+    /// (used as a fast pre-filter in homomorphism search).
+    pub fn anchor(&self) -> Option<Symbol> {
+        match self {
+            Range::Name(s) | Range::Dom(s) => Some(*s),
+            Range::Expr(p) => {
+                fn anchor_of(p: &PathExpr) -> Option<Symbol> {
+                    match p {
+                        PathExpr::Lookup(dict, _) => Some(*dict),
+                        PathExpr::Field(base, _) => anchor_of(base),
+                        _ => None,
+                    }
+                }
+                anchor_of(p)
+            }
+        }
+    }
+
+    /// Variables mentioned by the range (empty for `Name`/`Dom`).
+    pub fn vars(&self) -> Vec<Var> {
+        match self {
+            Range::Name(_) | Range::Dom(_) => Vec::new(),
+            Range::Expr(p) => p.vars(),
+        }
+    }
+
+    /// Rewrites range variables through `f`.
+    pub fn map_vars(&self, f: &mut impl FnMut(Var) -> PathExpr) -> Range {
+        match self {
+            Range::Name(s) => Range::Name(*s),
+            Range::Dom(s) => Range::Dom(*s),
+            Range::Expr(p) => Range::Expr(p.map_vars(f)),
+        }
+    }
+
+    /// A structural discriminant used to pre-filter candidate bindings during
+    /// homomorphism search: two ranges can only be equal (under any
+    /// congruence) if their shapes agree.
+    pub fn shape(&self) -> RangeShape {
+        match self {
+            Range::Name(s) => RangeShape::Name(*s),
+            Range::Dom(s) => RangeShape::Dom(*s),
+            Range::Expr(p) => RangeShape::Expr(expr_shape(p)),
+        }
+    }
+}
+
+/// See [`Range::shape`].
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum RangeShape {
+    /// Named set.
+    Name(Symbol),
+    /// Dictionary domain.
+    Dom(Symbol),
+    /// Path range summarized as (anchor dictionary, trailing field labels).
+    Expr(Vec<Symbol>),
+}
+
+fn expr_shape(p: &PathExpr) -> Vec<Symbol> {
+    // Outer-to-inner spine of field labels and lookup dictionary names.
+    let mut spine = Vec::new();
+    let mut cur = p;
+    loop {
+        match cur {
+            PathExpr::Field(base, f) => {
+                spine.push(*f);
+                cur = base;
+            }
+            PathExpr::Lookup(dict, _) => {
+                spine.push(*dict);
+                break;
+            }
+            _ => break,
+        }
+    }
+    spine.reverse();
+    spine
+}
+
+impl fmt::Display for Range {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Range::Name(s) => write!(f, "{s}"),
+            Range::Dom(s) => write!(f, "dom {s}"),
+            Range::Expr(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+/// One from-clause entry: `range var`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Binding {
+    /// The bound variable.
+    pub var: Var,
+    /// Human-readable variable name (display only).
+    pub name: Symbol,
+    /// What the variable ranges over.
+    pub range: Range,
+}
+
+impl fmt::Display for Binding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.range, self.name)
+    }
+}
+
+/// A path-conjunctive query.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Query {
+    /// Output struct: ordered labeled paths.
+    pub select: Vec<(Symbol, PathExpr)>,
+    /// From-clause bindings, in dependency order.
+    pub from: Vec<Binding>,
+    /// Conjunction of equalities.
+    pub where_: Vec<Equality>,
+    next_var: u32,
+}
+
+impl Default for Query {
+    fn default() -> Query {
+        Query::new()
+    }
+}
+
+impl Query {
+    /// An empty query (no bindings, no output).
+    pub fn new() -> Query {
+        Query {
+            select: Vec::new(),
+            from: Vec::new(),
+            where_: Vec::new(),
+            next_var: 0,
+        }
+    }
+
+    /// Allocates a fresh variable (display names live on bindings).
+    pub fn fresh_var(&mut self) -> Var {
+        let v = Var(self.next_var);
+        self.next_var += 1;
+        v
+    }
+
+    /// Allocates a fresh variable and immediately binds it to `range`,
+    /// returning the variable.
+    pub fn bind(&mut self, name: &str, range: Range) -> Var {
+        let var = Var(self.next_var);
+        self.next_var += 1;
+        self.from.push(Binding {
+            var,
+            name: Symbol::new(name),
+            range,
+        });
+        var
+    }
+
+    /// Adds `lhs = rhs` to the where-clause.
+    pub fn equate(&mut self, lhs: impl Into<PathExpr>, rhs: impl Into<PathExpr>) {
+        self.where_.push(Equality::new(lhs, rhs));
+    }
+
+    /// Adds an output field.
+    pub fn output(&mut self, label: &str, path: impl Into<PathExpr>) {
+        self.select.push((Symbol::new(label), path.into()));
+    }
+
+    /// The number of from-clause bindings ("loops" in the paper).
+    pub fn arity(&self) -> usize {
+        self.from.len()
+    }
+
+    /// Upper bound (exclusive) on variable ids allocated so far.
+    pub fn var_bound(&self) -> u32 {
+        self.next_var
+    }
+
+    /// Reserves variable ids so that ids below `bound` are never reallocated.
+    /// Used when grafting bindings from a related query (chase, fragments).
+    pub fn reserve_vars(&mut self, bound: u32) {
+        self.next_var = self.next_var.max(bound);
+    }
+
+    /// The binding for `var`, if any.
+    pub fn binding(&self, var: Var) -> Option<&Binding> {
+        self.from.iter().find(|b| b.var == var)
+    }
+
+    /// Display name of `var` (falls back to `$n` for unknown ids).
+    pub fn var_name(&self, var: Var) -> String {
+        match self.binding(var) {
+            Some(b) => b.name.to_string(),
+            None => format!("${}", var.0),
+        }
+    }
+
+    /// All variables bound in the from-clause, in order.
+    pub fn bound_vars(&self) -> Vec<Var> {
+        self.from.iter().map(|b| b.var).collect()
+    }
+
+    /// Checks well-formedness: each range/where/select variable must be bound,
+    /// range expressions may only use variables bound *earlier*, and bound
+    /// variables must be distinct. Returns a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen: HashMap<Var, usize> = HashMap::new();
+        for (i, b) in self.from.iter().enumerate() {
+            for v in b.range.vars() {
+                match seen.get(&v) {
+                    Some(&j) if j < i => {}
+                    Some(_) => unreachable!("indices are insertion-ordered"),
+                    None => {
+                        return Err(format!(
+                            "binding {} ranges over unbound or later variable ${}",
+                            b.name, v.0
+                        ));
+                    }
+                }
+            }
+            if seen.insert(b.var, i).is_some() {
+                return Err(format!("variable {} bound twice", b.name));
+            }
+        }
+        let check = |p: &PathExpr, what: &str| -> Result<(), String> {
+            let mut missing = None;
+            p.vars_all(&mut |v| {
+                let ok = seen.contains_key(&v);
+                if !ok && missing.is_none() {
+                    missing = Some(v);
+                }
+                ok
+            });
+            match missing {
+                Some(v) => Err(format!("{what} mentions unbound variable ${}", v.0)),
+                None => Ok(()),
+            }
+        };
+        for eq in &self.where_ {
+            check(&eq.lhs, "where-clause")?;
+            check(&eq.rhs, "where-clause")?;
+        }
+        for (_, p) in &self.select {
+            check(p, "select-clause")?;
+        }
+        Ok(())
+    }
+
+    /// Renames every variable by adding `offset`; used when grafting plans
+    /// from independently optimized fragments into one query.
+    pub fn offset_vars(&self, offset: u32) -> Query {
+        let mut shift = |v: Var| PathExpr::Var(Var(v.0 + offset));
+        Query {
+            select: self
+                .select
+                .iter()
+                .map(|(l, p)| (*l, p.map_vars(&mut shift)))
+                .collect(),
+            from: self
+                .from
+                .iter()
+                .map(|b| Binding {
+                    var: Var(b.var.0 + offset),
+                    name: b.name,
+                    range: b.range.map_vars(&mut |v| PathExpr::Var(Var(v.0 + offset))),
+                })
+                .collect(),
+            where_: self.where_.iter().map(|e| e.map_vars(&mut shift)).collect(),
+            next_var: self.next_var + offset,
+        }
+    }
+
+    /// A canonical string key identifying the query up to variable renaming
+    /// and where/select-clause ordering. Used to deduplicate plans produced
+    /// along different rewrite orders.
+    pub fn canonical_key(&self) -> String {
+        // Rename variables to their from-clause position.
+        let mut rank: HashMap<Var, usize> = HashMap::new();
+        for (i, b) in self.from.iter().enumerate() {
+            rank.insert(b.var, i);
+        }
+        let name_of = |v: Var| -> String {
+            match rank.get(&v) {
+                Some(i) => format!("#{i}"),
+                None => format!("$?{}", v.0),
+            }
+        };
+        let mut out = String::new();
+        let mut sel: Vec<String> = self
+            .select
+            .iter()
+            .map(|(l, p)| format!("{l}={}", render_path(p, &name_of)))
+            .collect();
+        sel.sort();
+        out.push_str(&sel.join(","));
+        out.push('|');
+        let froms: Vec<String> = self
+            .from
+            .iter()
+            .map(|b| match &b.range {
+                Range::Name(s) => s.to_string(),
+                Range::Dom(s) => format!("dom {s}"),
+                Range::Expr(p) => render_path(p, &name_of),
+            })
+            .collect();
+        out.push_str(&froms.join(","));
+        out.push('|');
+        let mut eqs: Vec<String> = self
+            .where_
+            .iter()
+            .map(|e| {
+                let l = render_path(&e.lhs, &name_of);
+                let r = render_path(&e.rhs, &name_of);
+                if l <= r {
+                    format!("{l}={r}")
+                } else {
+                    format!("{r}={l}")
+                }
+            })
+            .collect();
+        eqs.sort();
+        eqs.dedup();
+        out.push_str(&eqs.join(","));
+        out
+    }
+
+    /// A body-only copy (no select) — used for tableaux and containment
+    /// checks where outputs are compared separately.
+    pub fn body_only(&self) -> Query {
+        Query {
+            select: Vec::new(),
+            from: self.from.clone(),
+            where_: self.where_.clone(),
+            next_var: self.next_var,
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render with human variable names.
+        let name_of = |v: Var| -> String { self.var_name(v) };
+        write!(f, "select struct(")?;
+        for (i, (label, p)) in self.select.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{label} = {}", render_path(p, &name_of))?;
+        }
+        write!(f, ")\nfrom ")?;
+        for (i, b) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            match &b.range {
+                Range::Name(s) => write!(f, "{s} {}", b.name)?,
+                Range::Dom(s) => write!(f, "dom {s} {}", b.name)?,
+                Range::Expr(p) => write!(f, "{} {}", render_path(p, &name_of), b.name)?,
+            }
+        }
+        if !self.where_.is_empty() {
+            write!(f, "\nwhere ")?;
+            for (i, eq) in self.where_.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " and ")?;
+                }
+                write!(
+                    f,
+                    "{} = {}",
+                    render_path(&eq.lhs, &name_of),
+                    render_path(&eq.rhs, &name_of)
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Renders a path with a variable-naming function (shared with constraint
+/// display).
+pub(crate) fn render_path(p: &PathExpr, name_of: &dyn Fn(Var) -> String) -> String {
+    match p {
+        PathExpr::Var(v) => name_of(*v),
+        PathExpr::Const(c) => c.to_string(),
+        PathExpr::Field(base, f) => format!("{}.{f}", render_path(base, name_of)),
+        PathExpr::Lookup(dict, k) => format!("{dict}[{}]", render_path(k, name_of)),
+        PathExpr::MkStruct(fields) => {
+            let inner: Vec<String> = fields
+                .iter()
+                .map(|(n, p)| format!("{n} = {}", render_path(p, name_of)))
+                .collect();
+            format!("struct({})", inner.join(", "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::sym;
+
+    fn chain2() -> Query {
+        // select struct(A = r1.A, B = r2.B) from R1 r1, R2 r2 where r1.B = r2.A
+        let mut q = Query::new();
+        let r1 = q.bind("r1", Range::Name(sym("R1")));
+        let r2 = q.bind("r2", Range::Name(sym("R2")));
+        q.equate(PathExpr::from(r1).dot("B"), PathExpr::from(r2).dot("A"));
+        q.output("A", PathExpr::from(r1).dot("A"));
+        q.output("B", PathExpr::from(r2).dot("B"));
+        q
+    }
+
+    #[test]
+    fn build_and_validate() {
+        let q = chain2();
+        assert_eq!(q.arity(), 2);
+        q.validate().expect("well-formed");
+    }
+
+    #[test]
+    fn display_uses_names() {
+        let q = chain2();
+        let s = q.to_string();
+        assert!(s.contains("select struct(A = r1.A, B = r2.B)"), "{s}");
+        assert!(s.contains("from R1 r1, R2 r2"), "{s}");
+        assert!(s.contains("where r1.B = r2.A"), "{s}");
+    }
+
+    #[test]
+    fn validate_catches_unbound_where() {
+        let mut q = chain2();
+        q.equate(PathExpr::Var(Var(99)), PathExpr::from(0i64));
+        assert!(q.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_forward_range_reference() {
+        let mut q = Query::new();
+        // k ranges over M1[o].N where o is bound *later* — invalid.
+        let k = q.fresh_var();
+        let o = Var(k.0 + 1); // simulate a forward reference
+        q.from.push(Binding {
+            var: k,
+            name: sym("k"),
+            range: Range::Expr(PathExpr::from(o).lookup_in("M1").dot("N")),
+        });
+        q.from.push(Binding {
+            var: o,
+            name: sym("o"),
+            range: Range::Name(sym("R")),
+        });
+        q.reserve_vars(o.0 + 1);
+        assert!(q.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_duplicate_binding() {
+        let mut q = Query::new();
+        let v = q.bind("x", Range::Name(sym("R")));
+        q.from.push(Binding {
+            var: v,
+            name: sym("x2"),
+            range: Range::Name(sym("S")),
+        });
+        assert!(q.validate().is_err());
+    }
+
+    #[test]
+    fn range_anchor_and_shape() {
+        let r = Range::Name(sym("R"));
+        assert_eq!(r.anchor(), Some(sym("R")));
+        let d = Range::Dom(sym("M"));
+        assert_eq!(d.anchor(), Some(sym("M")));
+        let e = Range::Expr(PathExpr::from(Var(0)).lookup_in("M1").dot("N"));
+        assert_eq!(e.anchor(), Some(sym("M1")));
+        assert_eq!(
+            e.shape(),
+            RangeShape::Expr(vec![sym("M1"), sym("N")]),
+            "shape is the lookup/field spine"
+        );
+    }
+
+    #[test]
+    fn dom_range_display() {
+        let mut q = Query::new();
+        let k = q.bind("k", Range::Dom(sym("M1")));
+        q.output("F", PathExpr::from(k));
+        assert!(q.to_string().contains("dom M1 k"));
+    }
+
+    #[test]
+    fn body_only_strips_select() {
+        let q = chain2();
+        let b = q.body_only();
+        assert!(b.select.is_empty());
+        assert_eq!(b.from, q.from);
+        assert_eq!(b.where_, q.where_);
+    }
+
+    #[test]
+    fn offset_vars_preserves_structure() {
+        let q = chain2();
+        let q2 = q.offset_vars(10);
+        q2.validate().unwrap();
+        assert_eq!(q2.from[0].var, Var(10));
+        assert_eq!(q2.from[1].var, Var(11));
+        assert_eq!(q.to_string(), q2.to_string(), "display is name-based");
+    }
+
+    #[test]
+    fn canonical_key_invariant_under_renaming_and_order() {
+        let q = chain2();
+        let q2 = q.offset_vars(5);
+        assert_eq!(q.canonical_key(), q2.canonical_key());
+        // Flipping an equality or reordering where-clauses keeps the key.
+        let mut q3 = q.clone();
+        let e = q3.where_.pop().unwrap();
+        q3.where_.push(Equality::new(e.rhs, e.lhs));
+        assert_eq!(q.canonical_key(), q3.canonical_key());
+        // A genuinely different query gets a different key.
+        let mut q4 = q.clone();
+        q4.where_.clear();
+        assert_ne!(q.canonical_key(), q4.canonical_key());
+    }
+
+    #[test]
+    fn fresh_vars_are_distinct() {
+        let mut q = Query::new();
+        let a = q.fresh_var();
+        let b = q.fresh_var();
+        assert_ne!(a, b);
+        assert_eq!(q.var_bound(), 2);
+    }
+}

@@ -1,0 +1,154 @@
+//! The motivating examples of §2, as reusable scenarios.
+
+use cnb_ir::prelude::*;
+
+/// Example 2.1: relation `R(A, B, C, E)`, a composite index `I` on `ABC`, a
+/// small table `S(A)` with a foreign key from `R.A` into `S.A`, and the query
+/// `select struct(A = r.A, E = r.E) from R r where r.B = b and r.C = c`.
+///
+/// Only the RIC lets the optimizer introduce the join with `S` that unlocks
+/// the index `I` (the paper's "responsible SQL" scenario).
+pub struct Example21 {
+    /// Schema with `R`, `S`, the composite index skeleton, and the RIC.
+    pub schema: Schema,
+    /// The troubled query.
+    pub query: Query,
+    /// The constant bound to `B` in the where-clause.
+    pub b: i64,
+    /// The constant bound to `C` in the where-clause.
+    pub c: &'static str,
+}
+
+impl Example21 {
+    /// Builds the scenario.
+    pub fn new() -> Example21 {
+        let mut schema = Schema::new();
+        schema.add_relation(
+            "R",
+            [
+                (sym("A"), Type::Int),
+                (sym("B"), Type::Int),
+                (sym("C"), Type::Str),
+                (sym("E"), Type::Int),
+            ],
+        );
+        schema.add_relation("S", [(sym("A"), Type::Int)]);
+        add_composite_index(&mut schema, sym("R"), &[sym("A"), sym("B"), sym("C")], "I");
+        schema.add_constraint(foreign_key(sym("R"), sym("A"), sym("S"), sym("A")));
+
+        let b = 7i64;
+        let c = "c0";
+        let mut query = Query::new();
+        let r = query.bind("r", Range::Name(sym("R")));
+        query.equate(PathExpr::from(r).dot("B"), PathExpr::from(b));
+        query.equate(PathExpr::from(r).dot("C"), PathExpr::Const(Value::str(c)));
+        query.output("A", PathExpr::from(r).dot("A"));
+        query.output("E", PathExpr::from(r).dot("E"));
+
+        Example21 { schema, query, b, c }
+    }
+}
+
+impl Default for Example21 {
+    fn default() -> Self {
+        Example21::new()
+    }
+}
+
+/// Example 2.2: the two-star normalization scenario — relations
+/// `R1(K, A1, A2, F)`, `R2(K, A1, A2)`, corners `S11, S12, S21, S22(A, B)`,
+/// views `V1`, `V2` joining each hub with its corners, and the key constraint
+/// on `R1.K` that makes the double-view rewriting `Q''` correct.
+pub struct Example22 {
+    /// Schema with views and (optionally) the key constraint.
+    pub schema: Schema,
+    /// The foreign-key join query across the whole database.
+    pub query: Query,
+}
+
+impl Example22 {
+    /// Builds the scenario; `with_key` controls whether `KEY(R1.K)` is
+    /// declared (the paper's point is the difference).
+    pub fn new(with_key: bool) -> Example22 {
+        let mut schema = Schema::new();
+        schema.add_relation(
+            "R1",
+            [
+                (sym("K"), Type::Int),
+                (sym("A1"), Type::Int),
+                (sym("A2"), Type::Int),
+                (sym("F"), Type::Int),
+            ],
+        );
+        schema.add_relation(
+            "R2",
+            [
+                (sym("K"), Type::Int),
+                (sym("A1"), Type::Int),
+                (sym("A2"), Type::Int),
+            ],
+        );
+        for rel in ["S11", "S12", "S21", "S22"] {
+            schema.add_relation(rel, [(sym("A"), Type::Int), (sym("B"), Type::Int)]);
+        }
+        if with_key {
+            schema.add_constraint(key_constraint(sym("R1"), sym("K")));
+        }
+        for i in 1..=2 {
+            let mut def = Query::new();
+            let r = def.bind("r", Range::Name(sym(&format!("R{i}"))));
+            let s1 = def.bind("s1", Range::Name(sym(&format!("S{i}1"))));
+            let s2 = def.bind("s2", Range::Name(sym(&format!("S{i}2"))));
+            def.equate(PathExpr::from(r).dot("A1"), PathExpr::from(s1).dot("A"));
+            def.equate(PathExpr::from(r).dot("A2"), PathExpr::from(s2).dot("A"));
+            def.output("K", PathExpr::from(r).dot("K"));
+            def.output("B1", PathExpr::from(s1).dot("B"));
+            def.output("B2", PathExpr::from(s2).dot("B"));
+            add_materialized_view(&mut schema, format!("V{i}"), &def);
+        }
+
+        let mut query = Query::new();
+        let r1 = query.bind("r1", Range::Name(sym("R1")));
+        let s11 = query.bind("s11", Range::Name(sym("S11")));
+        let s12 = query.bind("s12", Range::Name(sym("S12")));
+        let r2 = query.bind("r2", Range::Name(sym("R2")));
+        let s21 = query.bind("s21", Range::Name(sym("S21")));
+        let s22 = query.bind("s22", Range::Name(sym("S22")));
+        query.equate(PathExpr::from(r1).dot("F"), PathExpr::from(r2).dot("K"));
+        query.equate(PathExpr::from(r1).dot("A1"), PathExpr::from(s11).dot("A"));
+        query.equate(PathExpr::from(r1).dot("A2"), PathExpr::from(s12).dot("A"));
+        query.equate(PathExpr::from(r2).dot("A1"), PathExpr::from(s21).dot("A"));
+        query.equate(PathExpr::from(r2).dot("A2"), PathExpr::from(s22).dot("A"));
+        query.output("B11", PathExpr::from(s11).dot("B"));
+        query.output("B12", PathExpr::from(s12).dot("B"));
+        query.output("B21", PathExpr::from(s21).dot("B"));
+        query.output("B22", PathExpr::from(s22).dot("B"));
+
+        Example22 { schema, query }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example21_typechecks() {
+        let ex = Example21::new();
+        check_query(&ex.schema, &ex.query).expect("well-typed");
+        assert_eq!(ex.schema.skeletons().len(), 1);
+        assert_eq!(ex.schema.semantic_constraints().len(), 1);
+    }
+
+    #[test]
+    fn example22_typechecks() {
+        for with_key in [false, true] {
+            let ex = Example22::new(with_key);
+            check_query(&ex.schema, &ex.query).expect("well-typed");
+            assert_eq!(
+                ex.schema.semantic_constraints().len(),
+                usize::from(with_key)
+            );
+        }
+    }
+}

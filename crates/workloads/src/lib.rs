@@ -1,0 +1,18 @@
+//! # cnb-workloads — the paper's experimental configurations
+//!
+//! Generators for the three experimental configurations of §5.1 (EC1:
+//! relational chains with indexes; EC2: chain-of-stars with materialized
+//! views and keys; EC3: object-oriented navigation with inverse constraints
+//! and ASRs) plus the motivating examples of §2.
+
+#![warn(missing_docs)]
+
+pub mod ec1;
+pub mod ec2;
+pub mod ec3;
+pub mod examples;
+
+pub use ec1::Ec1;
+pub use ec2::Ec2;
+pub use ec3::Ec3;
+pub use examples::{Example21, Example22};

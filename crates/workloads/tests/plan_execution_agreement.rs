@@ -1,0 +1,70 @@
+//! End-to-end cross-validation: every plan the optimizer generates must
+//! produce exactly the same result multiset as the original query when
+//! executed on generated data. This ties the optimizer's logical claims to
+//! the engine's operational semantics.
+
+use cnb_core::prelude::*;
+use cnb_engine::execute;
+use cnb_ir::prelude::Value;
+use cnb_workloads::{ec2::Ec2DataSpec, Ec1, Ec2, Ec3};
+
+fn sorted(rows: &[Value]) -> Vec<String> {
+    let mut v: Vec<String> = rows.iter().map(|r| r.to_string()).collect();
+    v.sort();
+    v
+}
+
+#[test]
+fn ec2_plans_agree() {
+    let ec2 = Ec2::new(2, 2, 1);
+    // Fat joins so the end-to-end result is nonempty on a small dataset.
+    let spec = Ec2DataSpec {
+        rows: 200,
+        corner_sel: 1.0,
+        chain_sel: 0.5,
+        ..Ec2DataSpec::default()
+    };
+    let db = ec2.generate(spec);
+    let q = ec2.query();
+    let opt = Optimizer::new(ec2.schema());
+    let res = opt.optimize(&q, &OptimizerConfig::with_strategy(Strategy::Full));
+    assert!(res.plans.len() >= 4, "expected several plans");
+    let baseline = sorted(&execute(&db, &q).unwrap().rows);
+    assert!(!baseline.is_empty(), "dataset too selective for the test");
+    for p in &res.plans {
+        let got = sorted(&execute(&db, &p.query).unwrap().rows);
+        assert_eq!(got, baseline, "plan diverges:\n{}", p.query);
+    }
+}
+
+#[test]
+fn ec1_plans_agree() {
+    let ec1 = Ec1::new(3, 1);
+    let db = ec1.generate(300, 0.3, 7);
+    let q = ec1.query();
+    let opt = Optimizer::new(ec1.schema());
+    let res = opt.optimize(&q, &OptimizerConfig::with_strategy(Strategy::Oqf));
+    assert!(res.plans.len() >= 8, "2^3 scan/index choices at least");
+    let baseline = sorted(&execute(&db, &q).unwrap().rows);
+    assert!(!baseline.is_empty());
+    for p in &res.plans {
+        let got = sorted(&execute(&db, &p.query).unwrap().rows);
+        assert_eq!(got, baseline, "plan diverges:\n{}", p.query);
+    }
+}
+
+#[test]
+fn ec3_plans_agree() {
+    let ec3 = Ec3::new(3, 1);
+    let db = ec3.generate(60, 3, 11);
+    let q = ec3.query();
+    let opt = Optimizer::new(ec3.schema());
+    let res = opt.optimize(&q, &OptimizerConfig::with_strategy(Strategy::Full));
+    assert!(res.plans.len() >= 4);
+    let baseline = sorted(&execute(&db, &q).unwrap().rows);
+    assert!(!baseline.is_empty());
+    for p in &res.plans {
+        let got = sorted(&execute(&db, &p.query).unwrap().rows);
+        assert_eq!(got, baseline, "plan diverges:\n{}", p.query);
+    }
+}

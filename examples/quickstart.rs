@@ -1,0 +1,74 @@
+//! Quickstart: declare a schema with an index, write a query, run the
+//! Chase & Backchase optimizer, execute the best plan.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use chase_too_far::core::prelude::*;
+use chase_too_far::engine::{execute, Database};
+use chase_too_far::ir::prelude::*;
+
+fn main() {
+    // 1. Logical schema: one relation Emp(Id, Dept, Salary).
+    let mut schema = Schema::new();
+    schema.add_relation(
+        "Emp",
+        [
+            (sym("Id"), Type::Int),
+            (sym("Dept"), Type::Int),
+            (sym("Salary"), Type::Int),
+        ],
+    );
+    // 2. Physical schema: a primary index on Id, described to the optimizer
+    //    purely as a pair of inclusion constraints (a "skeleton").
+    add_primary_index(&mut schema, sym("Emp"), sym("Id"), "EmpById");
+
+    // 3. The query: select struct(Id, Salary) from Emp e where e.Dept = 7.
+    let mut q = Query::new();
+    let e = q.bind("e", Range::Name(sym("Emp")));
+    q.equate(PathExpr::from(e).dot("Dept"), PathExpr::from(7i64));
+    q.output("Id", PathExpr::from(e).dot("Id"));
+    q.output("Salary", PathExpr::from(e).dot("Salary"));
+    println!("query:\n{q}\n");
+
+    // 4. Optimize: chase to the universal plan, backchase to minimal plans.
+    let optimizer = Optimizer::new(schema.clone());
+    let result = optimizer.optimize(&q, &OptimizerConfig::with_strategy(Strategy::Full));
+    println!(
+        "{} plans in {:?} (universal plan had {} bindings, {} subqueries explored)",
+        result.plans.len(),
+        result.total_time,
+        result.universal_arity,
+        result.explored
+    );
+    for (i, p) in result.plans.iter().enumerate() {
+        println!(
+            "\nplan {} (physical structures: {:?}):\n{}",
+            i + 1,
+            p.physical_used,
+            p.query
+        );
+    }
+
+    // 5. Execute the best plan on some data.
+    let mut db = Database::new();
+    for (id, dept, salary) in [(1, 7, 120), (2, 7, 95), (3, 4, 150)] {
+        db.insert_row(
+            sym("Emp"),
+            Value::record([
+                (sym("Id"), Value::Int(id)),
+                (sym("Dept"), Value::Int(dept)),
+                (sym("Salary"), Value::Int(salary)),
+            ]),
+        );
+    }
+    db.materialize_physical(&schema).expect("materialization");
+    let best = &result.plans[0].query;
+    let out = execute(&db, best).expect("execution");
+    println!("\nbest plan result ({} rows):", out.rows.len());
+    for row in &out.rows {
+        println!("  {row}");
+    }
+    assert_eq!(out.rows.len(), 2);
+}

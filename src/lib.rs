@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the whole workspace; see the crate-level
+//! README for a tour. Examples live in `examples/`, integration tests in
+//! `tests/`.
+
+pub use cnb_core as core;
+pub use cnb_engine as engine;
+pub use cnb_ir as ir;
+pub use cnb_workloads as workloads;
