@@ -1,6 +1,7 @@
-//! Criterion micro-benchmarks of the backchase strategies (figs. 6–7).
+//! Micro-benchmarks of the backchase strategies (figs. 6–7), on the in-repo
+//! timing harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cnb_bench::timing::BenchGroup;
 use cnb_core::prelude::*;
 use cnb_workloads::{Ec1, Ec2, Ec3};
 
@@ -8,8 +9,8 @@ fn cfg(strategy: Strategy) -> OptimizerConfig {
     OptimizerConfig::with_strategy(strategy).timeout(std::time::Duration::from_secs(30))
 }
 
-fn bench_strategies(c: &mut Criterion) {
-    let mut g = c.benchmark_group("backchase");
+fn main() {
+    let mut g = BenchGroup::new("backchase");
     g.sample_size(10);
 
     // EC1 [4,2]: FB exponential, OQF per-loop.
@@ -17,11 +18,9 @@ fn bench_strategies(c: &mut Criterion) {
     let q1 = ec1.query();
     let opt1 = Optimizer::new(ec1.schema());
     for strategy in [Strategy::Full, Strategy::Oqf, Strategy::Ocs] {
-        g.bench_with_input(
-            BenchmarkId::new("ec1_4_2", strategy.to_string()),
-            &strategy,
-            |b, &s| b.iter(|| opt1.optimize(&q1, &cfg(s))),
-        );
+        g.bench(&format!("ec1_4_2/{strategy}"), || {
+            opt1.optimize(&q1, &cfg(strategy))
+        });
     }
 
     // EC2 [1,4,2]: one star, 4 corners, 2 overlapping views.
@@ -29,11 +28,9 @@ fn bench_strategies(c: &mut Criterion) {
     let q2 = ec2.query();
     let opt2 = Optimizer::new(ec2.schema());
     for strategy in [Strategy::Full, Strategy::Oqf, Strategy::Ocs] {
-        g.bench_with_input(
-            BenchmarkId::new("ec2_1_4_2", strategy.to_string()),
-            &strategy,
-            |b, &s| b.iter(|| opt2.optimize(&q2, &cfg(s))),
-        );
+        g.bench(&format!("ec2_1_4_2/{strategy}"), || {
+            opt2.optimize(&q2, &cfg(strategy))
+        });
     }
 
     // EC3 with 4 classes: OCS's linear flipping vs FB.
@@ -41,14 +38,9 @@ fn bench_strategies(c: &mut Criterion) {
     let q3 = ec3.query();
     let opt3 = Optimizer::new(ec3.schema());
     for strategy in [Strategy::Full, Strategy::Ocs] {
-        g.bench_with_input(
-            BenchmarkId::new("ec3_4", strategy.to_string()),
-            &strategy,
-            |b, &s| b.iter(|| opt3.optimize(&q3, &cfg(s))),
-        );
+        g.bench(&format!("ec3_4/{strategy}"), || {
+            opt3.optimize(&q3, &cfg(strategy))
+        });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_strategies);
-criterion_main!(benches);

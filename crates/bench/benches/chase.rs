@@ -1,18 +1,19 @@
-//! Criterion micro-benchmarks of the chase (fig. 5's engine-level view).
+//! Micro-benchmarks of the chase (fig. 5's engine-level view), on the
+//! in-repo timing harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cnb_bench::timing::BenchGroup;
 use cnb_core::prelude::*;
 use cnb_workloads::{Ec1, Ec2, Ec3};
 
-fn bench_chase(c: &mut Criterion) {
-    let mut g = c.benchmark_group("chase");
+fn main() {
+    let mut g = BenchGroup::new("chase");
 
     for j in [0usize, 5, 9] {
         let ec1 = Ec1::new(10, j);
         let cs = ec1.schema().all_constraints();
         let q = ec1.query();
-        g.bench_with_input(BenchmarkId::new("ec1_chain10", ec1.index_count()), &j, |b, _| {
-            b.iter(|| chase_query(&q, &cs, ChaseConfig::default()))
+        g.bench(&format!("ec1_chain10/{}", ec1.index_count()), || {
+            chase_query(&q, &cs, ChaseConfig::default())
         });
     }
 
@@ -20,23 +21,18 @@ fn bench_chase(c: &mut Criterion) {
         let ec2 = Ec2::new(s, cn, v);
         let cs = ec2.schema().all_constraints();
         let q = ec2.query();
-        g.bench_with_input(
-            BenchmarkId::new("ec2", format!("{s}x{cn}v{v}")),
-            &s,
-            |b, _| b.iter(|| chase_query(&q, &cs, ChaseConfig::default())),
-        );
+        g.bench(&format!("ec2/{s}x{cn}v{v}"), || {
+            chase_query(&q, &cs, ChaseConfig::default())
+        });
     }
 
     for n in [4usize, 8] {
         let ec3 = Ec3::new(n, (n - 1) / 2);
         let cs = ec3.schema().all_constraints();
         let q = ec3.query();
-        g.bench_with_input(BenchmarkId::new("ec3_classes", n), &n, |b, _| {
-            b.iter(|| chase_query(&q, &cs, ChaseConfig::default()))
+        g.bench(&format!("ec3_classes/{n}"), || {
+            chase_query(&q, &cs, ChaseConfig::default())
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_chase);
-criterion_main!(benches);

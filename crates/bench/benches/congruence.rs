@@ -1,46 +1,42 @@
-//! Criterion micro-benchmarks of the congruence closure — the paper credits
-//! it for the chase's speed (§3.1).
+//! Micro-benchmarks of the congruence closure — the paper credits it for the
+//! chase's speed (§3.1) — on the in-repo timing harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cnb_bench::timing::BenchGroup;
 use cnb_core::prelude::*;
 use cnb_ir::prelude::*;
 
-fn bench_congruence(c: &mut Criterion) {
-    let mut g = c.benchmark_group("congruence");
+fn main() {
+    let mut g = BenchGroup::new("congruence");
 
     for n in [100u32, 1000] {
-        g.bench_with_input(BenchmarkId::new("union_chain", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut cong = Congruence::new();
-                let terms: Vec<TermId> = (0..n)
-                    .map(|i| cong.intern_path(&PathExpr::from(Var(i)).dot("A")))
-                    .collect();
-                for w in terms.windows(2) {
-                    cong.merge(w[0], w[1]);
-                }
-                cong.equal(terms[0], terms[(n - 1) as usize])
-            })
+        g.bench(&format!("union_chain/{n}"), || {
+            let mut cong = Congruence::new();
+            let terms: Vec<TermId> = (0..n)
+                .map(|i| cong.intern_path(&PathExpr::from(Var(i)).dot("A")))
+                .collect();
+            for w in terms.windows(2) {
+                cong.merge(w[0], w[1]);
+            }
+            cong.equal(terms[0], terms[(n - 1) as usize])
         });
     }
 
     // Congruence cascade: merging roots must propagate through field chains.
     for depth in [4usize, 16] {
-        g.bench_with_input(BenchmarkId::new("field_cascade", depth), &depth, |b, &d| {
-            b.iter(|| {
-                let mut cong = Congruence::new();
-                let mut p1 = PathExpr::from(Var(0));
-                let mut p2 = PathExpr::from(Var(1));
-                for i in 0..d {
-                    p1 = p1.dot(format!("F{i}").as_str());
-                    p2 = p2.dot(format!("F{i}").as_str());
-                }
-                let t1 = cong.intern_path(&p1);
-                let t2 = cong.intern_path(&p2);
-                let r1 = cong.intern_path(&PathExpr::from(Var(0)));
-                let r2 = cong.intern_path(&PathExpr::from(Var(1)));
-                cong.merge(r1, r2);
-                assert!(cong.equal(t1, t2));
-            })
+        g.bench(&format!("field_cascade/{depth}"), || {
+            let mut cong = Congruence::new();
+            let mut p1 = PathExpr::from(Var(0));
+            let mut p2 = PathExpr::from(Var(1));
+            for i in 0..depth {
+                p1 = p1.dot(format!("F{i}").as_str());
+                p2 = p2.dot(format!("F{i}").as_str());
+            }
+            let t1 = cong.intern_path(&p1);
+            let t2 = cong.intern_path(&p2);
+            let r1 = cong.intern_path(&PathExpr::from(Var(0)));
+            let r2 = cong.intern_path(&PathExpr::from(Var(1)));
+            cong.merge(r1, r2);
+            assert!(cong.equal(t1, t2));
         });
     }
 
@@ -50,13 +46,12 @@ fn bench_congruence(c: &mut Criterion) {
     let (db, _) = chase_query(&ec2.query(), &cs, ChaseConfig::default());
     let r1 = db.query.from[0].var;
     let v = db.query.from.last().unwrap().var;
-    g.bench_function("implied_on_chased_ec2", |b| {
+    {
         let mut db = db.clone();
-        b.iter(|| db.implied(&PathExpr::from(r1).dot("K"), &PathExpr::from(v).dot("K")))
-    });
+        g.bench("implied_on_chased_ec2", || {
+            db.implied(&PathExpr::from(r1).dot("K"), &PathExpr::from(v).dot("K"))
+        });
+    }
 
     g.finish();
 }
-
-criterion_group!(benches, bench_congruence);
-criterion_main!(benches);

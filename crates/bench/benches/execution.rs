@@ -1,12 +1,13 @@
-//! Criterion micro-benchmarks of the execution engine: original query vs the
-//! best C&B plan on generated EC2 data (the engine-level view of fig. 9).
+//! Micro-benchmarks of the execution engine: original query vs the best C&B
+//! plan on generated EC2 data (the engine-level view of fig. 9), on the
+//! in-repo timing harness.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cnb_bench::timing::BenchGroup;
 use cnb_core::prelude::*;
 use cnb_engine::execute;
 use cnb_workloads::{ec2::Ec2DataSpec, Ec2};
 
-fn bench_execution(c: &mut Criterion) {
+fn main() {
     let ec2 = Ec2::new(2, 2, 1);
     let db = ec2.generate(Ec2DataSpec {
         rows: 2000,
@@ -18,11 +19,8 @@ fn bench_execution(c: &mut Criterion) {
     let best = &res.plans[0].query; // best-first ordering
     assert!(!res.plans[0].physical_used.is_empty());
 
-    let mut g = c.benchmark_group("execution_ec2_2_2_1");
-    g.bench_function("original_query", |b| b.iter(|| execute(&db, &q).unwrap()));
-    g.bench_function("best_view_plan", |b| b.iter(|| execute(&db, best).unwrap()));
+    let mut g = BenchGroup::new("execution_ec2_2_2_1");
+    g.bench("original_query", || execute(&db, &q).unwrap());
+    g.bench("best_view_plan", || execute(&db, best).unwrap());
     g.finish();
 }
-
-criterion_group!(benches, bench_execution);
-criterion_main!(benches);

@@ -13,64 +13,9 @@
 //! the 5 000-tuple dataset orders of magnitude faster than 1999 DB2, so the
 //! paper's shape appears at larger `CNB_ROWS`.
 
-use cnb_bench::{config, print_table, rows, secs};
-use cnb_core::prelude::*;
-use cnb_engine::execute;
-use cnb_workloads::{ec2::Ec2DataSpec, Ec2};
+use cnb_bench::figs::{fig10_redux, Scale};
+use cnb_bench::rows;
 
 fn main() {
-    // The paper's x-axis: [#stars, #corners per star, #views per star].
-    let points: &[(usize, usize, usize)] = &[
-        (2, 2, 1),
-        (2, 3, 1),
-        (2, 4, 1),
-        (3, 2, 1),
-        (3, 3, 1),
-        (3, 4, 1),
-        (2, 3, 2),
-        (2, 4, 2),
-        (3, 3, 2),
-        (2, 4, 3),
-        (3, 4, 2),
-    ];
-    let n_rows = rows();
-    let mut table = Vec::new();
-    for &(s, c, v) in points {
-        let ec2 = Ec2::new(s, c, v);
-        let db = ec2.generate(Ec2DataSpec {
-            rows: n_rows,
-            ..Ec2DataSpec::default()
-        });
-        let q = ec2.query();
-        let opt = Optimizer::new(ec2.schema());
-        let res = opt.optimize(&q, &config(Strategy::Oqf));
-        if res.timed_out || res.plans.is_empty() {
-            table.push(vec![format!("[{s},{c},{v}]"), "—".into(), "—".into(), "—".into(), "—".into(), "—".into()]);
-            continue;
-        }
-        let opt_t = res.total_time.as_secs_f64();
-        let ex_t = execute(&db, &q).expect("original executes").stats.elapsed.as_secs_f64();
-        // Execute every plan; ExTBest is the fastest (the original query is
-        // always among the plans, so ExTBest <= ExT up to noise).
-        let ex_best = res
-            .plans
-            .iter()
-            .map(|p| execute(&db, &p.query).expect("plan executes").stats.elapsed.as_secs_f64())
-            .fold(f64::INFINITY, f64::min);
-        let redux = (ex_t - (ex_best + opt_t)) / ex_t;
-        let redux_first = (ex_t - (ex_best + opt_t / res.plans.len() as f64)) / ex_t;
-        table.push(vec![
-            format!("[{s},{c},{v}]"),
-            secs(std::time::Duration::from_secs_f64(opt_t)),
-            secs(std::time::Duration::from_secs_f64(ex_t)),
-            secs(std::time::Duration::from_secs_f64(ex_best)),
-            format!("{:.0}%", redux * 100.0),
-            format!("{:.0}%", redux_first * 100.0),
-        ]);
-    }
-    print_table(
-        &format!("Fig 10: time reduction [EC2], {n_rows} tuples/relation"),
-        &["[s,c,v]", "OptT (s)", "ExT (s)", "ExTBest (s)", "Redux", "ReduxFirst"],
-        &table,
-    );
+    print!("{}", fig10_redux(Scale::Paper, rows()));
 }

@@ -2,82 +2,8 @@
 //! experimental configurations. The paper's claim: the (efficiently
 //! implemented) chase is cheap even with 15+ joins and 15+ constraints.
 
-use cnb_bench::{print_table, secs};
-use cnb_core::prelude::*;
-use cnb_workloads::{Ec1, Ec2, Ec3};
-use std::time::Instant;
-
-fn chase_time(q: &cnb_ir::prelude::Query, cs: &[cnb_ir::prelude::Constraint]) -> (f64, usize) {
-    let start = Instant::now();
-    let (db, stats) = chase_query(q, cs, ChaseConfig::default());
-    assert!(!stats.truncated, "chase must reach a fixpoint");
-    (start.elapsed().as_secs_f64(), db.query.from.len())
-}
+use cnb_bench::figs::{fig5_chase_time, Scale};
 
 fn main() {
-    // EC1 (fig. 5 left): n = 10 chain relations; vary the number of indexes
-    // m = n + j by adding secondary indexes.
-    let mut t1 = Vec::new();
-    for j in [0usize, 3, 5, 7, 9] {
-        let ec1 = Ec1::new(10, j);
-        let cs = ec1.schema().all_constraints();
-        let (t, arity) = chase_time(&ec1.query(), &cs);
-        t1.push(vec![
-            format!("{}", ec1.index_count()),
-            format!("{}", cs.len()),
-            secs(std::time::Duration::from_secs_f64(t)),
-            format!("{arity}"),
-        ]);
-    }
-    print_table(
-        "Fig 5 (left): time to chase [EC1], 10-relation chain query",
-        &["#indexes", "#constraints", "chase time (s)", "universal plan size"],
-        &t1,
-    );
-
-    // EC2 (fig. 5 middle): s = 3 stars; query size s(c+1); two constraint
-    // series (6 views + 3 keys = 15, 9 views + 3 keys = 21).
-    let mut t2 = Vec::new();
-    for &(v, label) in &[(2usize, "6 views+3 keys = 15"), (3usize, "9 views+3 keys = 21")] {
-        for c in [3usize, 4, 5, 6, 7] {
-            if v + 1 > c {
-                continue;
-            }
-            let ec2 = Ec2::new(3, c, v);
-            let cs = ec2.schema().all_constraints();
-            let (t, arity) = chase_time(&ec2.query(), &cs);
-            t2.push(vec![
-                label.to_string(),
-                format!("{}", ec2.query_size()),
-                format!("{}", cs.len()),
-                secs(std::time::Duration::from_secs_f64(t)),
-                format!("{arity}"),
-            ]);
-        }
-    }
-    print_table(
-        "Fig 5 (middle): time to chase [EC2], 3 stars, growing star size",
-        &["series", "query size", "#constraints", "chase time (s)", "universal plan size"],
-        &t2,
-    );
-
-    // EC3 (fig. 5 right): vary the number of classes 2..10; inverse
-    // constraints (2 per hop) plus ASR constraints (2 per ASR).
-    let mut t3 = Vec::new();
-    for n in [2usize, 4, 6, 8, 10] {
-        let ec3 = Ec3::new(n, (n - 1) / 2);
-        let cs = ec3.schema().all_constraints();
-        let (t, arity) = chase_time(&ec3.query(), &cs);
-        t3.push(vec![
-            format!("{n}"),
-            format!("{}", cs.len()),
-            secs(std::time::Duration::from_secs_f64(t)),
-            format!("{arity}"),
-        ]);
-    }
-    print_table(
-        "Fig 5 (right): time to chase [EC3], full navigation query",
-        &["#classes", "#constraints", "chase time (s)", "universal plan size"],
-        &t3,
-    );
+    print!("{}", fig5_chase_time(Scale::Paper));
 }

@@ -3,64 +3,8 @@
 //! left panel: EC3 over the number of traversed classes (where OQF
 //! degenerates into FB because inverse-constraint images overlap).
 
-use cnb_bench::{cell, print_table, run, tpp};
-use cnb_core::prelude::*;
-use cnb_workloads::{Ec1, Ec3};
+use cnb_bench::figs::{fig6_tpp_ec1_ec3, Scale};
 
 fn main() {
-    // EC1 grid: the paper's x-axis [3,0] [3,1] [3,2] [3,3] [4,0] ... [5,2].
-    let mut t1 = Vec::new();
-    for &(n, j) in &[
-        (3usize, 0usize),
-        (3, 1),
-        (3, 2),
-        (3, 3),
-        (4, 0),
-        (4, 1),
-        (4, 2),
-        (4, 3),
-        (5, 0),
-        (5, 1),
-        (5, 2),
-    ] {
-        let ec1 = Ec1::new(n, j);
-        let opt = Optimizer::new(ec1.schema());
-        let q = ec1.query();
-        let fmt = |strategy| {
-            run(&opt, &q, strategy).map(|r| format!("{:.4} ({} plans)", tpp(&r), r.plans.len()))
-        };
-        t1.push(vec![
-            format!("[{n},{j}]"),
-            cell(fmt(Strategy::Full)),
-            cell(fmt(Strategy::Oqf)),
-            cell(fmt(Strategy::Ocs)),
-        ]);
-    }
-    print_table(
-        "Fig 6 (right): time per plan [EC1] — seconds (plan count)",
-        &["[#relations,#secondary]", "FB", "OQF", "OCS"],
-        &t1,
-    );
-
-    // EC3: classes 2..6; FB(=OQF) vs OCS. Missing FB cells above the
-    // timeout reproduce the paper's missing bars.
-    let mut t3 = Vec::new();
-    for n in 2usize..=6 {
-        let ec3 = Ec3::new(n, 0);
-        let opt = Optimizer::new(ec3.schema());
-        let q = ec3.query();
-        let fmt = |strategy| {
-            run(&opt, &q, strategy).map(|r| format!("{:.4} ({} plans)", tpp(&r), r.plans.len()))
-        };
-        t3.push(vec![
-            format!("{n}"),
-            cell(fmt(Strategy::Full)),
-            cell(fmt(Strategy::Ocs)),
-        ]);
-    }
-    print_table(
-        "Fig 6 (left): time per plan [EC3] — seconds (plan count)",
-        &["#classes traversed", "FB (=OQF)", "OCS"],
-        &t3,
-    );
+    print!("{}", fig6_tpp_ec1_ec3(Scale::Paper));
 }

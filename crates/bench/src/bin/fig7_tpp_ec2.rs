@@ -3,56 +3,8 @@
 //! timeout first; OCS is fastest (at the price of completeness — see the
 //! §5.3.1 plan-count table).
 
-use cnb_bench::{cell, print_table, run, tpp};
-use cnb_core::prelude::*;
-use cnb_workloads::Ec2;
+use cnb_bench::figs::{fig7_tpp_ec2, Scale};
 
 fn main() {
-    // The paper's 22 x-axis points, as [v, s, c].
-    let points: &[(usize, usize, usize)] = &[
-        (1, 1, 5),
-        (1, 2, 3),
-        (1, 2, 5),
-        (1, 3, 2),
-        (1, 3, 3),
-        (1, 3, 4),
-        (1, 3, 5),
-        (1, 4, 4),
-        (2, 1, 5),
-        (2, 2, 3),
-        (2, 2, 4),
-        (2, 2, 5),
-        (2, 3, 5),
-        (2, 4, 4),
-        (3, 1, 4),
-        (3, 1, 5),
-        (3, 2, 4),
-        (3, 2, 5),
-        (3, 3, 4),
-        (3, 3, 5),
-        (4, 1, 5),
-        (4, 2, 5),
-    ];
-    let mut table = Vec::new();
-    for &(v, s, c) in points {
-        let ec2 = Ec2::new(s, c, v);
-        let opt = Optimizer::new(ec2.schema());
-        let q = ec2.query();
-        let fmt = |strategy| {
-            run(&opt, &q, strategy).map(|r| format!("{:.4} ({})", tpp(&r), r.plans.len()))
-        };
-        table.push(vec![
-            format!("[{v},{s},{c}]"),
-            format!("{}", ec2.query_size()),
-            format!("{}", ec2.constraint_count()),
-            cell(fmt(Strategy::Full)),
-            cell(fmt(Strategy::Oqf)),
-            cell(fmt(Strategy::Ocs)),
-        ]);
-    }
-    print_table(
-        "Fig 7: time per plan [EC2] — seconds (plan count); — = timeout",
-        &["[v,s,c]", "query size", "#constraints", "FB", "OQF", "OCS"],
-        &table,
-    );
+    print!("{}", fig7_tpp_ec2(Scale::Paper));
 }

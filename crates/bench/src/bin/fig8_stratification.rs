@@ -3,60 +3,8 @@
 //! stage. Stratum size 1 = OCS; merging everything approaches FB. The paper
 //! observes an exponential reduction as strata shrink.
 
-use cnb_bench::{cell, print_table};
-use cnb_core::prelude::*;
-use cnb_workloads::{Ec2, Ec3};
-
-fn normalized_times(
-    opt: &Optimizer,
-    q: &cnb_ir::prelude::Query,
-    group_sizes: &[usize],
-) -> Vec<Option<f64>> {
-    let mut times = Vec::new();
-    for &g in group_sizes {
-        let mut cfg = cnb_bench::config(Strategy::Ocs);
-        cfg.stratum_group_size = Some(g);
-        let res = opt.optimize(q, &cfg);
-        times.push(if res.timed_out {
-            None
-        } else {
-            Some(res.total_time.as_secs_f64())
-        });
-    }
-    // Normalize by the stratum-size-1 time (the paper's y-axis).
-    let base = times[0].unwrap_or(1.0);
-    times
-        .into_iter()
-        .map(|t| t.map(|t| t / base.max(1e-9)))
-        .collect()
-}
+use cnb_bench::figs::{fig8_stratification, Scale};
 
 fn main() {
-    let group_sizes = [1usize, 2, 3, 4];
-    let mut table = Vec::new();
-
-    for (label, n) in [("EC3 with 5 classes", 5usize), ("EC3 with 6 classes", 6)] {
-        let ec3 = Ec3::new(n, 0);
-        let opt = Optimizer::new(ec3.schema());
-        let q = ec3.query();
-        let norm = normalized_times(&opt, &q, &group_sizes);
-        let mut row = vec![label.to_string()];
-        row.extend(norm.into_iter().map(|t| cell(t.map(|t| format!("{t:.2}")))));
-        table.push(row);
-    }
-    {
-        let ec2 = Ec2::new(3, 3, 1);
-        let opt = Optimizer::new(ec2.schema());
-        let q = ec2.query();
-        let norm = normalized_times(&opt, &q, &group_sizes);
-        let mut row = vec!["EC2 [3,3,1]".to_string()];
-        row.extend(norm.into_iter().map(|t| cell(t.map(|t| format!("{t:.2}")))));
-        table.push(row);
-    }
-
-    print_table(
-        "Fig 8: normalized optimization time vs stratum size (1 = OCS)",
-        &["configuration", "size 1", "size 2", "size 3", "size 4"],
-        &table,
-    );
+    print!("{}", fig8_stratification(Scale::Paper));
 }

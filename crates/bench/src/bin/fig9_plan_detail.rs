@@ -3,58 +3,11 @@
 //! the execution time of each plan on the generated dataset, the views used
 //! and the corner relations used — the paper's fig. 9 table.
 
-use cnb_bench::{config, print_table, rows, secs};
-use cnb_core::prelude::*;
-use cnb_engine::execute;
-use cnb_workloads::{ec2::Ec2DataSpec, Ec2};
+use cnb_bench::figs::fig9_plan_detail;
+use cnb_bench::rows;
 
 fn main() {
-    let ec2 = Ec2::new(3, 2, 1);
-    let spec = Ec2DataSpec {
-        rows: rows(),
-        ..Ec2DataSpec::default()
-    };
-    eprintln!(
-        "generating dataset: {} tuples/relation, 4% corner / 2% chain selectivity ...",
-        spec.rows
-    );
-    let db = ec2.generate(spec);
-    let q = ec2.query();
-    let opt = Optimizer::new(ec2.schema());
-    let res = opt.optimize(&q, &config(Strategy::Oqf));
-    println!(
-        "# Stars: 3, # Corners per star: 2, # Views per star: 1. {} plans generated. Time to generate all plans: {}s",
-        res.plans.len(),
-        secs(res.total_time)
-    );
-
-    let mut table = Vec::new();
-    for (i, p) in res.plans.iter().enumerate() {
-        let exec = execute(&db, &p.query).expect("plan executes");
-        let views: Vec<String> = p.physical_used.iter().map(|s| s.to_string()).collect();
-        let corners: Vec<String> = p
-            .query
-            .from
-            .iter()
-            .filter_map(|b| match &b.range {
-                cnb_ir::prelude::Range::Name(s) if s.as_str().starts_with('S') => {
-                    Some(s.to_string())
-                }
-                _ => None,
-            })
-            .collect();
-        let original = if views.is_empty() { " (*) original query" } else { "" };
-        table.push(vec![
-            format!("{}", i + 1),
-            secs(exec.stats.elapsed),
-            format!("{}", exec.rows.len()),
-            views.join(", "),
-            format!("{}{}", corners.join(", "), original),
-        ]);
-    }
-    print_table(
-        "Fig 9: plans for EC2 [3 stars, 2 corners, 1 view per star]",
-        &["Plan #", "Execution time (s)", "rows", "Views used", "Corner relations used"],
-        &table,
-    );
+    let rows = rows();
+    eprintln!("generating dataset: {rows} tuples/relation, 4% corner / 2% chain selectivity ...");
+    print!("{}", fig9_plan_detail(rows));
 }

@@ -1,55 +1,8 @@
 //! §5.3.1 — "Number of plans in EC2": FB vs OQF vs OCS plan counts for the
 //! paper's nine (s, c, v) parameter rows.
 
-use cnb_bench::{cell, print_table, run};
-use cnb_core::prelude::*;
-use cnb_workloads::Ec2;
+use cnb_bench::figs::{table_plan_counts, Scale};
 
 fn main() {
-    let rows_spec: &[(usize, usize, usize)] = &[
-        (1, 3, 1),
-        (1, 3, 2),
-        (1, 4, 3),
-        (1, 5, 1),
-        (1, 5, 2),
-        (1, 5, 3),
-        (1, 5, 4),
-        (2, 5, 1),
-        (3, 5, 1),
-    ];
-    // Paper values for side-by-side comparison.
-    let paper: &[(usize, usize, usize)] = &[
-        (2, 2, 2),
-        (4, 4, 3),
-        (7, 7, 5),
-        (2, 2, 2),
-        (4, 4, 3),
-        (7, 7, 5),
-        (13, 13, 8),
-        (4, 4, 4),
-        (8, 8, 8),
-    ];
-
-    let mut table = Vec::new();
-    for (i, &(s, c, v)) in rows_spec.iter().enumerate() {
-        let ec2 = Ec2::new(s, c, v);
-        let opt = Optimizer::new(ec2.schema());
-        let q = ec2.query();
-        let count = |strategy| run(&opt, &q, strategy).map(|r| r.plans.len().to_string());
-        let (pf, po, pc) = paper[i];
-        table.push(vec![
-            format!("{s}"),
-            format!("{c}"),
-            format!("{v}"),
-            cell(count(Strategy::Full)),
-            cell(count(Strategy::Oqf)),
-            cell(count(Strategy::Ocs)),
-            format!("{pf}/{po}/{pc}"),
-        ]);
-    }
-    print_table(
-        "Number of plans in EC2 (paper §5.3.1)",
-        &["s", "c", "v", "FB", "OQF", "OCS", "paper FB/OQF/OCS"],
-        &table,
-    );
+    print!("{}", table_plan_counts(Scale::Paper));
 }

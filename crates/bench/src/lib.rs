@@ -1,9 +1,9 @@
 //! # cnb-bench — the experiment harness
 //!
-//! One binary per table/figure of the paper's evaluation section (§5), plus
-//! Criterion micro-benchmarks. Each binary prints a markdown table with the
-//! same rows/series the paper reports; EXPERIMENTS.md records the paper-vs-
-//! measured comparison.
+//! One binary per table/figure of the paper's evaluation section (§5) — the
+//! core routines live in [`figs`] so integration tests can smoke-run them —
+//! plus micro-benchmarks on the in-repo [`timing`] harness (the build
+//! environment has no registry access, so external benchmark frameworks are not available).
 //!
 //! Environment knobs:
 //! * `CNB_TIMEOUT_SECS` — per-optimization wall-clock budget (default 120,
@@ -13,6 +13,9 @@
 //!   paper's value).
 
 #![warn(missing_docs)]
+
+pub mod figs;
+pub mod timing;
 
 use std::time::Duration;
 
@@ -57,18 +60,32 @@ pub fn cell(v: Option<String>) -> String {
     v.unwrap_or_else(|| "—".to_string())
 }
 
+/// Renders a markdown table to a string.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("\n### {title}\n\n"));
+    out.push_str(&format!("| {} |\n", header.join(" | ")));
+    out.push_str(&format!(
+        "|{}|\n",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    ));
+    for r in rows {
+        out.push_str(&format!("| {} |\n", r.join(" | ")));
+    }
+    out
+}
+
 /// Prints a markdown table.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
-    println!("\n### {title}\n");
-    println!("| {} |", header.join(" | "));
-    println!("|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
-    for r in rows {
-        println!("| {} |", r.join(" | "));
-    }
+    print!("{}", render_table(title, header, rows));
 }
 
 /// Runs one optimization, returning `None` on timeout (a "missing bar").
-pub fn run(opt: &Optimizer, q: &cnb_ir::prelude::Query, strategy: Strategy) -> Option<OptimizeResult> {
+pub fn run(
+    opt: &Optimizer,
+    q: &cnb_ir::prelude::Query,
+    strategy: Strategy,
+) -> Option<OptimizeResult> {
     let res = opt.optimize(q, &config(strategy));
     if res.timed_out {
         None

@@ -1,0 +1,134 @@
+//! A tiny in-repo timing harness replacing external benchmark frameworks (the build environment
+//! has no registry access).
+//!
+//! The protocol per benchmark: calibrate a batch size so one sample takes at
+//! least [`MIN_SAMPLE`], warm up, collect N batched samples, report the
+//! median/min/max per-iteration time as a markdown row. Median-of-N is robust
+//! to the occasional scheduler hiccup without a full outlier-analysis machinery.
+//!
+//! Benches using it declare `harness = false` and just call
+//! [`BenchGroup::bench`] from `main`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Minimum wall-clock per measured sample; fast closures are batched up to
+/// this granularity so `Instant` overhead stays negligible.
+const MIN_SAMPLE: Duration = Duration::from_millis(2);
+
+/// Warmup budget before sampling starts.
+const WARMUP: Duration = Duration::from_millis(50);
+
+/// A named group of benchmarks rendered as one markdown table, mirroring the
+/// `benchmark_group` shape the old benches used.
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+    rows: Vec<Vec<String>>,
+}
+
+impl BenchGroup {
+    /// Starts a group; results print on [`BenchGroup::finish`].
+    pub fn new(name: &str) -> BenchGroup {
+        BenchGroup {
+            name: name.to_string(),
+            samples: 11,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Overrides the sample count (default 11).
+    pub fn sample_size(&mut self, samples: usize) -> &mut BenchGroup {
+        self.samples = samples.max(3);
+        self
+    }
+
+    /// Measures `f`, recording median/min/max per-iteration time.
+    pub fn bench<T>(&mut self, label: &str, mut f: impl FnMut() -> T) {
+        // The first call may pay one-off lazy-init costs; keep it out of the
+        // timed warmup window so it cannot skew the calibration average.
+        black_box(f());
+
+        // Warm up for a fixed budget so caches/allocator reach steady state.
+        let warm_start = Instant::now();
+        let mut warm_iters: u128 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= WARMUP {
+                break;
+            }
+        }
+
+        // Calibrate from the steady-state warmup rate (a cold first call can
+        // run orders of magnitude slower and would undersize the batch): how
+        // many iterations fill MIN_SAMPLE?
+        let one = (warm_start.elapsed().as_nanos() / warm_iters).max(1);
+        let batch = (MIN_SAMPLE.as_nanos() / one).clamp(1, 1_000_000) as usize;
+
+        let mut per_iter: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..batch {
+                    black_box(f());
+                }
+                start.elapsed() / batch as u32
+            })
+            .collect();
+        per_iter.sort();
+        let median = per_iter[per_iter.len() / 2];
+        self.rows.push(vec![
+            label.to_string(),
+            fmt_duration(median),
+            fmt_duration(per_iter[0]),
+            fmt_duration(*per_iter.last().expect("samples >= 3")),
+            format!("{}×{batch}", self.samples),
+        ]);
+    }
+
+    /// Prints the group's markdown table.
+    pub fn finish(self) {
+        crate::print_table(
+            &format!("bench: {}", self.name),
+            &["benchmark", "median/iter", "min", "max", "samples"],
+            &self.rows,
+        );
+    }
+}
+
+/// Human-readable duration with µs resolution for fast benches.
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_produces_a_row_per_call() {
+        let mut g = BenchGroup::new("t");
+        g.sample_size(3);
+        g.bench("noop", || 1 + 1);
+        g.bench("spin", || (0..100).sum::<u64>());
+        assert_eq!(g.rows.len(), 2);
+        assert!(g.rows.iter().all(|r| r.len() == 5));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(5)), "5.000 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.000 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(5)), "5.000 s");
+    }
+}

@@ -1,0 +1,67 @@
+//! Smoke tests for the seven experiment drivers: run each figure's core
+//! routine with tiny parameters and assert it yields a non-empty markdown
+//! table, so the binaries cannot silently rot.
+
+use cnb_bench::figs::{self, Scale};
+
+/// A rendered figure must contain at least one markdown table with a header,
+/// a separator, and one data row.
+fn assert_markdown_table(name: &str, rendered: &str) {
+    let pipe_rows = rendered
+        .lines()
+        .filter(|l| l.starts_with('|') && l.ends_with('|'))
+        .count();
+    assert!(
+        pipe_rows >= 3,
+        "{name}: expected a markdown table (header + separator + data), got:\n{rendered}"
+    );
+    assert!(
+        rendered.lines().any(|l| l.contains("|---")),
+        "{name}: missing a markdown separator row:\n{rendered}"
+    );
+}
+
+#[test]
+fn fig5_chase_time_smoke() {
+    assert_markdown_table("fig5", &figs::fig5_chase_time(Scale::Smoke));
+}
+
+#[test]
+fn fig6_tpp_ec1_ec3_smoke() {
+    assert_markdown_table("fig6", &figs::fig6_tpp_ec1_ec3(Scale::Smoke));
+}
+
+#[test]
+fn fig7_tpp_ec2_smoke() {
+    assert_markdown_table("fig7", &figs::fig7_tpp_ec2(Scale::Smoke));
+}
+
+#[test]
+fn fig8_stratification_smoke() {
+    assert_markdown_table("fig8", &figs::fig8_stratification(Scale::Smoke));
+}
+
+#[test]
+fn fig9_plan_detail_smoke() {
+    let rendered = figs::fig9_plan_detail(60);
+    assert_markdown_table("fig9", &rendered);
+    // The OQF strategy finds the paper's 8 plans for [3,2,1], and exactly
+    // one of them is the original (view-free) query.
+    assert_eq!(rendered.matches("(*) original query").count(), 1);
+}
+
+#[test]
+fn fig10_redux_smoke() {
+    assert_markdown_table("fig10", &figs::fig10_redux(Scale::Smoke, 60));
+}
+
+#[test]
+fn table_plan_counts_smoke() {
+    let rendered = figs::table_plan_counts(Scale::Smoke);
+    assert_markdown_table("table_plan_counts", &rendered);
+    // Smoke scale covers the first two paper rows.
+    assert!(
+        rendered.contains("2/2/2"),
+        "paper column missing:\n{rendered}"
+    );
+}

@@ -250,7 +250,12 @@ mod tests {
                     format!("R{i}"),
                     [(sym("A"), Type::Int), (sym("B"), Type::Int)],
                 );
-                add_primary_index(&mut schema, sym(&format!("R{i}")), sym("A"), format!("I{i}"));
+                add_primary_index(
+                    &mut schema,
+                    sym(&format!("R{i}")),
+                    sym("A"),
+                    format!("I{i}"),
+                );
             }
             let mut q = Query::new();
             let vars: Vec<Var> = (1..=n)
@@ -398,7 +403,12 @@ mod tests {
                 format!("T{i}"),
                 [(sym("A"), Type::Int), (sym("B"), Type::Int)],
             );
-            add_primary_index(&mut schema, sym(&format!("T{i}")), sym("A"), format!("J{i}"));
+            add_primary_index(
+                &mut schema,
+                sym(&format!("T{i}")),
+                sym("A"),
+                format!("J{i}"),
+            );
         }
         let mut q = Query::new();
         let vars: Vec<Var> = (1..=6)

@@ -204,9 +204,6 @@ mod tests {
     #[test]
     fn iter_order() {
         let s = VarSet::from_iter([Var(65), Var(2), Var(64)]);
-        assert_eq!(
-            s.iter().collect::<Vec<_>>(),
-            vec![Var(2), Var(64), Var(65)]
-        );
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![Var(2), Var(64), Var(65)]);
     }
 }

@@ -141,7 +141,12 @@ mod tests {
                 format!("B{i}"),
                 [(sym("A"), Type::Int), (sym("B"), Type::Int)],
             );
-            add_primary_index(&mut schema, sym(&format!("B{i}")), sym("A"), format!("BI{i}"));
+            add_primary_index(
+                &mut schema,
+                sym(&format!("B{i}")),
+                sym("A"),
+                format!("BI{i}"),
+            );
         }
         schema
     }
@@ -167,8 +172,7 @@ mod tests {
             let cs = schema.all_constraints();
             let cfg = BackchaseConfig::default();
             let top = chase_and_backchase(&q, &cs, &cfg);
-            let bottom =
-                bottom_up_backchase(&q, &cs, &cfg, &CostModel::default(), None);
+            let bottom = bottom_up_backchase(&q, &cs, &cfg, &CostModel::default(), None);
             assert_eq!(top.plans.len(), bottom.plans.len(), "n={n}");
             for bp in &bottom.plans {
                 assert!(

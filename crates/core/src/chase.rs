@@ -63,11 +63,16 @@ pub fn chase(db: &mut CanonDb, constraints: &[Constraint], cfg: ChaseConfig) -> 
         stats.rounds += 1;
         let mut progress = false;
         for (ci, c) in constraints.iter().enumerate() {
-            let (homs, _) = find_homs(db, &c.universal, &c.premise, &HomMap::new(), HomConfig::default());
+            let (homs, _) = find_homs(
+                db,
+                &c.universal,
+                &c.premise,
+                &HomMap::new(),
+                HomConfig::default(),
+            );
             stats.homs_found += homs.len();
             for h in homs {
-                let key: (usize, Vec<Var>) =
-                    (ci, c.universal.iter().map(|b| h[&b.var]).collect());
+                let key: (usize, Vec<Var>) = (ci, c.universal.iter().map(|b| h[&b.var]).collect());
                 if applied.contains(&key) {
                     continue;
                 }
@@ -216,10 +221,7 @@ mod tests {
             }
             v
         };
-        schema.add_relation(
-            "R1",
-            b_attrs(&[("K", Type::Int), ("F", Type::Int)]),
-        );
+        schema.add_relation("R1", b_attrs(&[("K", Type::Int), ("F", Type::Int)]));
         schema.add_relation("R2", b_attrs(&[("K", Type::Int)]));
         for rel in ["S11", "S12", "S21", "S22"] {
             schema.add_relation(rel, [(sym("A"), Type::Int), (sym("B"), Type::Int)]);
@@ -284,10 +286,7 @@ mod tests {
         let k = db.query.from[1].var;
         assert_eq!(db.query.from[1].range, Range::Dom(sym("PI")));
         assert!(db.implied(&PathExpr::from(k), &PathExpr::from(r).dot("K")));
-        assert!(db.implied(
-            &PathExpr::from(k).lookup_in("PI"),
-            &PathExpr::from(r)
-        ));
+        assert!(db.implied(&PathExpr::from(k).lookup_in("PI"), &PathExpr::from(r)));
         // Congruence: PI[k].K = r.K too.
         assert!(db.implied(
             &PathExpr::from(k).lookup_in("PI").dot("K"),

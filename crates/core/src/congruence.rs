@@ -400,15 +400,10 @@ impl Congruence {
             TermNode::Var(v) => PathExpr::Var(*v),
             TermNode::Const(c) => PathExpr::Const(c.clone()),
             TermNode::Field(base, f) => self.path_of(*base).dot(*f),
-            TermNode::Lookup(dict, key) => {
-                PathExpr::Lookup(*dict, Box::new(self.path_of(*key)))
+            TermNode::Lookup(dict, key) => PathExpr::Lookup(*dict, Box::new(self.path_of(*key))),
+            TermNode::Struct(fields) => {
+                PathExpr::MkStruct(fields.iter().map(|(n, c)| (*n, self.path_of(*c))).collect())
             }
-            TermNode::Struct(fields) => PathExpr::MkStruct(
-                fields
-                    .iter()
-                    .map(|(n, c)| (*n, self.path_of(*c)))
-                    .collect(),
-            ),
         }
     }
 
@@ -419,7 +414,10 @@ impl Congruence {
             TermNode::Field(base, _) => 1 + self.term_size(*base),
             TermNode::Lookup(_, key) => 1 + self.term_size(*key),
             TermNode::Struct(fields) => {
-                1 + fields.iter().map(|(_, c)| self.term_size(*c)).sum::<usize>()
+                1 + fields
+                    .iter()
+                    .map(|(_, c)| self.term_size(*c))
+                    .sum::<usize>()
             }
         }
     }
@@ -655,7 +653,10 @@ mod tests {
         let sx = c.term(TermNode::Struct(vec![(sym("A"), x)]));
         let sy = c.term(TermNode::Struct(vec![(sym("A"), y)]));
         c.merge(x, y);
-        assert!(c.equal(sx, sy), "x = y must imply struct(A=x) = struct(A=y)");
+        assert!(
+            c.equal(sx, sy),
+            "x = y must imply struct(A=x) = struct(A=y)"
+        );
     }
 
     #[test]
@@ -766,7 +767,10 @@ mod tests {
         c.merge(k, kp);
         let allowed = VarSet::from_iter([Var(0)]);
         let rw = c.rewrite_over(range, &allowed).expect("constructible");
-        assert_eq!(c.path_of(rw), PathExpr::from(Var(0)).lookup_in("M").dot("P"));
+        assert_eq!(
+            c.path_of(rw),
+            PathExpr::from(Var(0)).lookup_in("M").dot("P")
+        );
         // The constructed term is congruent to the original.
         assert!(c.equal(rw, range));
     }

@@ -281,7 +281,12 @@ mod tests {
                 format!("R{i}"),
                 [(sym("A"), Type::Int), (sym("B"), Type::Int)],
             );
-            add_primary_index(&mut schema, sym(&format!("R{i}")), sym("A"), format!("I{i}"));
+            add_primary_index(
+                &mut schema,
+                sym(&format!("R{i}")),
+                sym("A"),
+                format!("I{i}"),
+            );
         }
         let mut q = Query::new();
         let r1 = q.bind("r1", Range::Name(sym("R1")));
@@ -364,7 +369,12 @@ mod tests {
                 format!("R{i}"),
                 [(sym("A"), Type::Int), (sym("B"), Type::Int)],
             );
-            add_primary_index(&mut schema, sym(&format!("R{i}")), sym("A"), format!("I{i}"));
+            add_primary_index(
+                &mut schema,
+                sym(&format!("R{i}")),
+                sym("A"),
+                format!("I{i}"),
+            );
         }
         let mut q = Query::new();
         let r1 = q.bind("r1", Range::Name(sym("R1")));

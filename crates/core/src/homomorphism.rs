@@ -148,9 +148,20 @@ fn dfs(
 
     // If pre-fixed, verify range compatibility and conditions, then recurse.
     if let Some(&target) = map.get(&b.var) {
-        if range_compatible(db, &b.range, map, target) && conds_hold(db, ready_at, depth, map, stats)
+        if range_compatible(db, &b.range, map, target)
+            && conds_hold(db, ready_at, depth, map, stats)
         {
-            dfs(db, bindings, ready_at, depth + 1, map, used, results, stats, cfg);
+            dfs(
+                db,
+                bindings,
+                ready_at,
+                depth + 1,
+                map,
+                used,
+                results,
+                stats,
+                cfg,
+            );
         }
         return;
     }
@@ -177,7 +188,17 @@ fn dfs(
         map.insert(b.var, tv);
         used.push(tv);
         if conds_hold(db, ready_at, depth, map, stats) {
-            dfs(db, bindings, ready_at, depth + 1, map, used, results, stats, cfg);
+            dfs(
+                db,
+                bindings,
+                ready_at,
+                depth + 1,
+                map,
+                used,
+                results,
+                stats,
+                cfg,
+            );
         }
         used.pop();
         map.remove(&b.var);
@@ -287,7 +308,13 @@ mod tests {
         let mut db = target();
         let mut src = Query::new();
         let x = src.bind("x", Range::Name(sym("R")));
-        let (homs, _) = find_homs(&mut db, &src.from, &[], &HomMap::new(), HomConfig::default());
+        let (homs, _) = find_homs(
+            &mut db,
+            &src.from,
+            &[],
+            &HomMap::new(),
+            HomConfig::default(),
+        );
         assert_eq!(homs.len(), 1);
         assert_eq!(homs[0][&x], db.query.from[0].var);
     }
@@ -297,7 +324,13 @@ mod tests {
         let mut db = target();
         let mut src = Query::new();
         src.bind("x", Range::Name(sym("T")));
-        let (homs, _) = find_homs(&mut db, &src.from, &[], &HomMap::new(), HomConfig::default());
+        let (homs, _) = find_homs(
+            &mut db,
+            &src.from,
+            &[],
+            &HomMap::new(),
+            HomConfig::default(),
+        );
         assert!(homs.is_empty());
     }
 
@@ -316,7 +349,13 @@ mod tests {
             PathExpr::from(x).dot("B"),
             PathExpr::from(3i64),
         )];
-        let (homs, _) = find_homs(&mut db, &src.from, &conds, &HomMap::new(), HomConfig::default());
+        let (homs, _) = find_homs(
+            &mut db,
+            &src.from,
+            &conds,
+            &HomMap::new(),
+            HomConfig::default(),
+        );
         assert_eq!(homs.len(), 1);
         assert_eq!(homs[0][&x], r1);
     }
@@ -334,7 +373,13 @@ mod tests {
             PathExpr::from(x).dot("A"),
             PathExpr::from(y).dot("A"),
         )];
-        let (homs, _) = find_homs(&mut db, &src.from, &conds, &HomMap::new(), HomConfig::default());
+        let (homs, _) = find_homs(
+            &mut db,
+            &src.from,
+            &conds,
+            &HomMap::new(),
+            HomConfig::default(),
+        );
         assert_eq!(homs.len(), 1);
         assert_eq!(homs[0][&x], r);
         assert_eq!(homs[0][&y], s);
@@ -348,7 +393,13 @@ mod tests {
         let mut db = CanonDb::new(q);
         let mut src = Query::new();
         src.bind("x", Range::Name(sym("R")));
-        let (homs, _) = find_homs(&mut db, &src.from, &[], &HomMap::new(), HomConfig::default());
+        let (homs, _) = find_homs(
+            &mut db,
+            &src.from,
+            &[],
+            &HomMap::new(),
+            HomConfig::default(),
+        );
         assert_eq!(homs.len(), 2);
     }
 
@@ -362,7 +413,13 @@ mod tests {
         let mut src = Query::new();
         src.bind("x", Range::Name(sym("R")));
         src.bind("y", Range::Name(sym("R")));
-        let (homs, _) = find_homs(&mut db, &src.from, &[], &HomMap::new(), HomConfig::default());
+        let (homs, _) = find_homs(
+            &mut db,
+            &src.from,
+            &[],
+            &HomMap::new(),
+            HomConfig::default(),
+        );
         assert_eq!(homs.len(), 1);
         let (inj, _) = find_homs(
             &mut db,
@@ -398,10 +455,7 @@ mod tests {
         // Target: (k in dom M)(o in M[k].N). Source: (k' in dom M)(o' in M[k'].N).
         let mut q = Query::new();
         let k = q.bind("k", Range::Dom(sym("M")));
-        let _o = q.bind(
-            "o",
-            Range::Expr(PathExpr::from(k).lookup_in("M").dot("N")),
-        );
+        let _o = q.bind("o", Range::Expr(PathExpr::from(k).lookup_in("M").dot("N")));
         let mut db = CanonDb::new(q);
         let mut src = Query::new();
         let k2 = src.bind("k2", Range::Dom(sym("M")));
@@ -409,7 +463,13 @@ mod tests {
             "o2",
             Range::Expr(PathExpr::from(k2).lookup_in("M").dot("N")),
         );
-        let (homs, _) = find_homs(&mut db, &src.from, &[], &HomMap::new(), HomConfig::default());
+        let (homs, _) = find_homs(
+            &mut db,
+            &src.from,
+            &[],
+            &HomMap::new(),
+            HomConfig::default(),
+        );
         assert_eq!(homs.len(), 1);
         assert_eq!(homs[0][&o2], db.query.from[1].var);
     }
@@ -427,7 +487,13 @@ mod tests {
             "o2",
             Range::Expr(PathExpr::from(k2).lookup_in("M").dot("P")),
         );
-        let (homs, _) = find_homs(&mut db, &src.from, &[], &HomMap::new(), HomConfig::default());
+        let (homs, _) = find_homs(
+            &mut db,
+            &src.from,
+            &[],
+            &HomMap::new(),
+            HomConfig::default(),
+        );
         assert!(homs.is_empty());
     }
 

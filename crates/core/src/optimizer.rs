@@ -350,9 +350,19 @@ mod tests {
                     (sym("D"), Type::Int),
                 ],
             );
-            add_primary_index(&mut schema, sym(&format!("R{i}")), sym("K"), format!("PI{i}"));
+            add_primary_index(
+                &mut schema,
+                sym(&format!("R{i}")),
+                sym("K"),
+                format!("PI{i}"),
+            );
             if i <= j {
-                add_secondary_index(&mut schema, sym(&format!("R{i}")), sym("N"), format!("SI{i}"));
+                add_secondary_index(
+                    &mut schema,
+                    sym(&format!("R{i}")),
+                    sym("N"),
+                    format!("SI{i}"),
+                );
             }
         }
         schema

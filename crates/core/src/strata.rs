@@ -138,7 +138,11 @@ mod tests {
         let mut schema = Schema::new();
         schema.add_relation(
             "R",
-            [(sym("K"), Type::Int), (sym("A1"), Type::Int), (sym("A2"), Type::Int)],
+            [
+                (sym("K"), Type::Int),
+                (sym("A1"), Type::Int),
+                (sym("A2"), Type::Int),
+            ],
         );
         schema.add_relation("S1", [(sym("A"), Type::Int), (sym("B"), Type::Int)]);
         schema.add_relation("S2", [(sym("A"), Type::Int), (sym("B"), Type::Int)]);

@@ -177,8 +177,7 @@ mod tests {
         let n_out = &sub.select[1].1;
         // K = k itself or PI[k].K; N = PI[k].N.
         assert!(
-            *k_out == PathExpr::from(k)
-                || *k_out == PathExpr::from(k).lookup_in("PI").dot("K"),
+            *k_out == PathExpr::from(k) || *k_out == PathExpr::from(k).lookup_in("PI").dot("K"),
             "{k_out}"
         );
         assert_eq!(*n_out, PathExpr::from(k).lookup_in("PI").dot("N"));

@@ -163,10 +163,7 @@ mod tests {
         db.materialize_physical(&schema).unwrap();
         let pi = db.dict(sym("PI")).unwrap();
         assert_eq!(pi.len(), 2);
-        assert_eq!(
-            pi[&Value::Int(1)].field(sym("N")),
-            Some(&Value::Int(10))
-        );
+        assert_eq!(pi[&Value::Int(1)].field(sym("N")), Some(&Value::Int(10)));
     }
 
     #[test]
@@ -214,7 +211,11 @@ mod tests {
         let mut schema = Schema::new();
         schema.add_relation(
             "R",
-            [(sym("A"), Type::Int), (sym("B"), Type::Int), (sym("E"), Type::Int)],
+            [
+                (sym("A"), Type::Int),
+                (sym("B"), Type::Int),
+                (sym("E"), Type::Int),
+            ],
         );
         add_composite_index(&mut schema, sym("R"), &[sym("A"), sym("B")], "I");
         let mut db = Database::new();

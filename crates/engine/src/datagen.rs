@@ -5,9 +5,8 @@
 //! `|R ⋈ S| / |R|`: a join attribute drawn uniformly from a domain of size
 //! `|S| / selectivity` yields the desired expected match count.
 
+use crate::prng::SplitMix64;
 use cnb_ir::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Column generators for [`gen_table`].
 #[derive(Clone, Debug)]
@@ -40,7 +39,7 @@ impl ColumnSpec {
 }
 
 /// Generates `rows` struct rows from the column specs.
-pub fn gen_table(rows: usize, cols: &[ColumnSpec], rng: &mut StdRng) -> Vec<Value> {
+pub fn gen_table(rows: usize, cols: &[ColumnSpec], rng: &mut SplitMix64) -> Vec<Value> {
     (0..rows)
         .map(|i| {
             Value::record(cols.iter().map(|c| {
@@ -63,8 +62,8 @@ pub fn domain_for_selectivity(target_card: usize, sel: f64) -> i64 {
 }
 
 /// A deterministic RNG for reproducible datasets.
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
+pub fn rng(seed: u64) -> SplitMix64 {
+    SplitMix64::seed_from_u64(seed)
 }
 
 #[cfg(test)]
@@ -89,7 +88,11 @@ mod tests {
     #[test]
     fn uniform_in_range() {
         let mut r = rng(2);
-        let t = gen_table(1000, &[ColumnSpec::new("A", ColumnGen::Uniform(10))], &mut r);
+        let t = gen_table(
+            1000,
+            &[ColumnSpec::new("A", ColumnGen::Uniform(10))],
+            &mut r,
+        );
         assert!(t.iter().all(|row| match row.field(sym("A")) {
             Some(Value::Int(i)) => (0..10).contains(i),
             _ => false,
@@ -100,7 +103,11 @@ mod tests {
     fn deterministic_given_seed() {
         let mk = || {
             let mut r = rng(42);
-            gen_table(50, &[ColumnSpec::new("A", ColumnGen::Uniform(1000))], &mut r)
+            gen_table(
+                50,
+                &[ColumnSpec::new("A", ColumnGen::Uniform(1000))],
+                &mut r,
+            )
         };
         assert_eq!(mk(), mk());
     }
@@ -119,7 +126,11 @@ mod tests {
         let sel = 0.04;
         let dom = domain_for_selectivity(rows, sel);
         let mut r = rng(7);
-        let fks = gen_table(rows, &[ColumnSpec::new("F", ColumnGen::Uniform(dom))], &mut r);
+        let fks = gen_table(
+            rows,
+            &[ColumnSpec::new("F", ColumnGen::Uniform(dom))],
+            &mut r,
+        );
         let matches = fks
             .iter()
             .filter(|row| match row.field(sym("F")) {

@@ -147,9 +147,8 @@ fn plan(db: &Database, q: &Query) -> Result<Vec<Step>, EngineError> {
                 best = Some((tier, card, i, access, consumed));
             }
         }
-        let (_, _, idx, access, consumed) = best.ok_or_else(|| {
-            EngineError::new("no evaluable binding (cyclic range dependencies?)")
-        })?;
+        let (_, _, idx, access, consumed) = best
+            .ok_or_else(|| EngineError::new("no evaluable binding (cyclic range dependencies?)"))?;
         // The condition consumed by a probe access is not re-checked.
         if let Some(ci) = consumed {
             used_conds[ci] = true;
@@ -163,9 +162,7 @@ fn plan(db: &Database, q: &Query) -> Result<Vec<Step>, EngineError> {
                 continue;
             }
             let vars = eq.vars();
-            if vars.iter().all(|v| bound.contains(v))
-                && vars.contains(&q.from[idx].var)
-            {
+            if vars.iter().all(|v| bound.contains(v)) && vars.contains(&q.from[idx].var) {
                 filters.push(eq.clone());
             }
         }
@@ -411,12 +408,8 @@ mod tests {
     #[test]
     fn set_path_iteration() {
         let mut db = Database::new();
-        let obj = |n: &[i64]| {
-            Value::record([(
-                sym("N"),
-                Value::set(n.iter().map(|&i| Value::Int(i))),
-            )])
-        };
+        let obj =
+            |n: &[i64]| Value::record([(sym("N"), Value::set(n.iter().map(|&i| Value::Int(i))))]);
         db.set_entry(sym("M"), Value::Int(1), obj(&[10, 11]));
         db.set_entry(sym("M"), Value::Int(2), obj(&[20]));
         // select o from dom M k, M[k].N o

@@ -13,6 +13,7 @@ pub mod database;
 pub mod datagen;
 pub mod error;
 pub mod eval;
+pub mod prng;
 
 pub use database::Database;
 pub use error::EngineError;

@@ -138,7 +138,10 @@ impl Constraint {
 
     /// Schema names mentioned in universal ranges.
     pub fn universal_anchors(&self) -> Vec<Symbol> {
-        self.universal.iter().filter_map(|b| b.range.anchor()).collect()
+        self.universal
+            .iter()
+            .filter_map(|b| b.range.anchor())
+            .collect()
     }
 
     /// Schema names mentioned in existential ranges.
@@ -218,7 +221,11 @@ impl Constraint {
         Constraint {
             name: self.name.clone(),
             universal: self.universal.iter().map(map_binding).collect(),
-            premise: self.premise.iter().map(|e| e.map_vars(&mut shift)).collect(),
+            premise: self
+                .premise
+                .iter()
+                .map(|e| e.map_vars(&mut shift))
+                .collect(),
             existential: self.existential.iter().map(map_binding).collect(),
             conclusion: self
                 .conclusion
@@ -415,7 +422,8 @@ mod tests {
         let mut c = Constraint::new("bad");
         let _r = c.forall("r", Range::Name(sym("R")));
         let s = c.exists("s", Range::Name(sym("S")));
-        c.premise.push(Equality::new(PathExpr::from(s), PathExpr::from(0i64)));
+        c.premise
+            .push(Equality::new(PathExpr::from(s), PathExpr::from(0i64)));
         assert!(c.validate().is_err());
     }
 

@@ -96,7 +96,9 @@ fn lex(input: &str) -> Result<Lexer, ParseError> {
             while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
                 i += 1;
             }
-            if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len()
+            if i < bytes.len()
+                && bytes[i] == b'.'
+                && i + 1 < bytes.len()
                 && (bytes[i + 1] as char).is_ascii_digit()
             {
                 i += 1;
@@ -469,10 +471,9 @@ mod tests {
 
     #[test]
     fn parses_example_21_query() {
-        let q = parse_query(
-            "select struct(A = r.A, E = r.E) from R r where r.B = 7 and r.C = 'c0'",
-        )
-        .unwrap();
+        let q =
+            parse_query("select struct(A = r.A, E = r.E) from R r where r.B = 7 and r.C = 'c0'")
+                .unwrap();
         assert_eq!(q.from.len(), 1);
         assert_eq!(q.where_.len(), 2);
         assert_eq!(q.select.len(), 2);
@@ -482,10 +483,7 @@ mod tests {
 
     #[test]
     fn parses_joins() {
-        let q = parse_query(
-            "select struct(B = s.B) from R r, S s where r.A = s.A",
-        )
-        .unwrap();
+        let q = parse_query("select struct(B = s.B) from R r, S s where r.A = s.A").unwrap();
         assert_eq!(q.from.len(), 2);
         let r = q.from[0].var;
         let s = q.from[1].var;
@@ -570,8 +568,7 @@ mod tests {
 
     #[test]
     fn parses_key_constraint() {
-        let c =
-            parse_constraint("KEY", "forall (r in R)(r2 in R) r.K = r2.K => r = r2").unwrap();
+        let c = parse_constraint("KEY", "forall (r in R)(r2 in R) r.K = r2.K => r = r2").unwrap();
         assert_eq!(c.kind(), ConstraintKind::Egd);
         assert_eq!(c.premise.len(), 1);
         assert_eq!(c.conclusion.len(), 1);
@@ -594,10 +591,7 @@ mod tests {
     #[test]
     fn parsed_matches_programmatic() {
         // The parser and the builders produce identical queries.
-        let parsed = parse_query(
-            "select struct(A = r.A) from R r, S s where r.A = s.A",
-        )
-        .unwrap();
+        let parsed = parse_query("select struct(A = r.A) from R r, S s where r.A = s.A").unwrap();
         let mut built = Query::new();
         let r = built.bind("r", Range::Name(sym("R")));
         let s = built.bind("s", Range::Name(sym("S")));
@@ -608,17 +602,15 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        let q = parse_query(
-            "select struct(A = r.A) -- output\nfrom R r -- scan\nwhere r.B = 1",
-        )
-        .unwrap();
+        let q = parse_query("select struct(A = r.A) -- output\nfrom R r -- scan\nwhere r.B = 1")
+            .unwrap();
         assert_eq!(q.where_.len(), 1);
     }
 
     #[test]
     fn negative_and_float_literals() {
-        let q = parse_query("select struct(A = r.A) from R r where r.B = -3 and r.F = 1.5")
-            .unwrap();
+        let q =
+            parse_query("select struct(A = r.A) from R r where r.B = -3 and r.F = 1.5").unwrap();
         assert_eq!(q.where_[0].rhs, PathExpr::Const(Value::Int(-3)));
         assert_eq!(q.where_[1].rhs, PathExpr::Const(Value::Float(1.5)));
     }

@@ -242,7 +242,10 @@ mod tests {
 
     #[test]
     fn equality_vars() {
-        let e = Equality::new(PathExpr::from(Var(0)).dot("A"), PathExpr::from(Var(1)).dot("B"));
+        let e = Equality::new(
+            PathExpr::from(Var(0)).dot("A"),
+            PathExpr::from(Var(1)).dot("B"),
+        );
         assert_eq!(e.vars(), vec![Var(0), Var(1)]);
         assert_eq!(e.to_string(), "$0.A = $1.B");
     }

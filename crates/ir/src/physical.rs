@@ -34,7 +34,10 @@ pub fn foreign_key(
     let mut c = Constraint::new(format!("RIC({from_rel}.{from_attr} -> {to_rel}.{to_attr})"));
     let r = c.forall("r", Range::Name(from_rel));
     let s = c.exists("s", Range::Name(to_rel));
-    c.then(PathExpr::from(r).dot(from_attr), PathExpr::from(s).dot(to_attr));
+    c.then(
+        PathExpr::from(r).dot(from_attr),
+        PathExpr::from(s).dot(to_attr),
+    );
     c
 }
 
@@ -114,12 +117,7 @@ pub fn add_composite_index(
     schema.add_physical_dict(index_name, key_ty, tuple_ty);
 
     let key_struct_of = |v: PathExpr| {
-        PathExpr::MkStruct(
-            key_attrs
-                .iter()
-                .map(|a| (*a, v.clone().dot(*a)))
-                .collect(),
-        )
+        PathExpr::MkStruct(key_attrs.iter().map(|a| (*a, v.clone().dot(*a))).collect())
     };
 
     let mut fwd = Constraint::new(format!("CIDX_b({index_name})"));
@@ -176,19 +174,13 @@ pub fn add_secondary_index(
     let mut fwd = Constraint::new(format!("SIDX_b({index_name})"));
     let r = fwd.forall("r", Range::Name(rel));
     let k = fwd.exists("k", Range::Dom(index_name));
-    let t = fwd.exists(
-        "t",
-        Range::Expr(PathExpr::from(k).lookup_in(index_name)),
-    );
+    let t = fwd.exists("t", Range::Expr(PathExpr::from(k).lookup_in(index_name)));
     fwd.then(PathExpr::from(k), PathExpr::from(r).dot(attr));
     fwd.then(PathExpr::from(t), PathExpr::from(r));
 
     let mut bwd = Constraint::new(format!("SIDX_f({index_name})"));
     let k = bwd.forall("k", Range::Dom(index_name));
-    let t = bwd.forall(
-        "t",
-        Range::Expr(PathExpr::from(k).lookup_in(index_name)),
-    );
+    let t = bwd.forall("t", Range::Expr(PathExpr::from(k).lookup_in(index_name)));
     let r = bwd.exists("r", Range::Name(rel));
     bwd.then(PathExpr::from(r).dot(attr), PathExpr::from(k));
     bwd.then(PathExpr::from(r), PathExpr::from(t));
@@ -287,7 +279,10 @@ pub fn inverse_relationship(m1: Symbol, m2: Symbol, n: Symbol, p: Symbol) -> [Co
 
 /// Convenience: the element-type environment of a query against a schema.
 /// Re-exported for workloads that need to inspect inferred types.
-pub fn env_for<'a>(schema: &'a Schema, q: &Query) -> Result<TypeEnv<'a>, crate::typecheck::TypeError> {
+pub fn env_for<'a>(
+    schema: &'a Schema,
+    q: &Query,
+) -> Result<TypeEnv<'a>, crate::typecheck::TypeError> {
     let mut env = TypeEnv::new(schema);
     env.bind_all(&q.from)?;
     Ok(env)

@@ -97,11 +97,7 @@ impl Schema {
         name: impl Into<Symbol>,
         attrs: impl IntoIterator<Item = (Symbol, Type)>,
     ) -> Symbol {
-        self.declare(
-            name,
-            Layer::Logical,
-            CollType::Set(Type::record(attrs)),
-        )
+        self.declare(name, Layer::Logical, CollType::Set(Type::record(attrs)))
     }
 
     /// Declares a physical set (e.g. a materialized view's stored table).
@@ -215,10 +211,7 @@ mod tests {
 
     fn toy() -> Schema {
         let mut s = Schema::new();
-        s.add_relation(
-            "R",
-            [(sym("A"), Type::Int), (sym("B"), Type::Int)],
-        );
+        s.add_relation("R", [(sym("A"), Type::Int), (sym("B"), Type::Int)]);
         s.add_physical_dict("I", Type::Int, Type::record([(sym("A"), Type::Int)]));
         s
     }

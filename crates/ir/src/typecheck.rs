@@ -250,10 +250,7 @@ mod tests {
         let s = schema();
         let mut q = Query::new();
         let k = q.bind("k", Range::Dom(sym("M")));
-        let o = q.bind(
-            "o",
-            Range::Expr(PathExpr::from(k).lookup_in("M").dot("N")),
-        );
+        let o = q.bind("o", Range::Expr(PathExpr::from(k).lookup_in("M").dot("N")));
         q.output("o", PathExpr::from(o));
         let ty = check_query(&s, &q).unwrap();
         assert_eq!(ty, Type::record([(sym("o"), Type::Oid(sym("M")))]));

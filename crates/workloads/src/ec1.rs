@@ -20,7 +20,10 @@ impl Ec1 {
     /// Creates the configuration, validating the parameters.
     pub fn new(relations: usize, secondary: usize) -> Ec1 {
         assert!(relations >= 1, "need at least one relation");
-        assert!(secondary <= relations, "more secondary indexes than relations");
+        assert!(
+            secondary <= relations,
+            "more secondary indexes than relations"
+        );
         Ec1 {
             relations,
             secondary,

@@ -76,14 +76,8 @@ impl Ec3 {
             let next = if i < n { i + 1 } else { i };
             let prev = if i > 1 { i - 1 } else { i };
             let ty = Type::record([
-                (
-                    sym("N"),
-                    Type::Set(Box::new(Type::Oid(self.class(next)))),
-                ),
-                (
-                    sym("P"),
-                    Type::Set(Box::new(Type::Oid(self.class(prev)))),
-                ),
+                (sym("N"), Type::Set(Box::new(Type::Oid(self.class(next))))),
+                (sym("P"), Type::Set(Box::new(Type::Oid(self.class(prev))))),
             ]);
             schema.add_logical_dict(self.class(i), Type::Oid(self.class(i)), ty);
         }
@@ -144,7 +138,6 @@ impl Ec3 {
     /// are materialized by evaluating their definitions.
     pub fn generate(&self, objects: usize, fanout: usize, seed: u64) -> cnb_engine::Database {
         use cnb_ir::prelude::Value;
-        use rand::Rng;
         let mut rng = cnb_engine::datagen::rng(seed);
         let n = self.classes;
         // n_links[i][src] = targets in class i+1 (0-based class index).
@@ -189,7 +182,10 @@ impl Ec3 {
                 db.set_entry(
                     class,
                     Value::Oid(class, obj as u64),
-                    Value::record([(cnb_ir::prelude::sym("N"), nv), (cnb_ir::prelude::sym("P"), pv)]),
+                    Value::record([
+                        (cnb_ir::prelude::sym("N"), nv),
+                        (cnb_ir::prelude::sym("P"), pv),
+                    ]),
                 );
             }
         }

@@ -45,7 +45,12 @@ impl Example21 {
         query.output("A", PathExpr::from(r).dot("A"));
         query.output("E", PathExpr::from(r).dot("E"));
 
-        Example21 { schema, query, b, c }
+        Example21 {
+            schema,
+            query,
+            b,
+            c,
+        }
     }
 }
 

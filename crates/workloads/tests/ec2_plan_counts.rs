@@ -8,7 +8,10 @@ fn counts(s: usize, c: usize, v: usize) -> (usize, usize, usize) {
     let opt = Optimizer::new(ec2.schema());
     let q = ec2.query();
     let mut out = [0usize; 3];
-    for (i, strat) in [Strategy::Full, Strategy::Oqf, Strategy::Ocs].iter().enumerate() {
+    for (i, strat) in [Strategy::Full, Strategy::Oqf, Strategy::Ocs]
+        .iter()
+        .enumerate()
+    {
         let res = opt.optimize(&q, &OptimizerConfig::with_strategy(*strat));
         assert!(!res.timed_out, "{strat} timed out on [{s},{c},{v}]");
         out[i] = res.plans.len();
@@ -17,28 +20,46 @@ fn counts(s: usize, c: usize, v: usize) -> (usize, usize, usize) {
 }
 
 #[test]
-fn row_1_3_1() { assert_eq!(counts(1, 3, 1), (2, 2, 2)); }
+fn row_1_3_1() {
+    assert_eq!(counts(1, 3, 1), (2, 2, 2));
+}
 
 #[test]
-fn row_1_3_2() { assert_eq!(counts(1, 3, 2), (4, 4, 3)); }
+fn row_1_3_2() {
+    assert_eq!(counts(1, 3, 2), (4, 4, 3));
+}
 
 #[test]
-fn row_1_4_3() { assert_eq!(counts(1, 4, 3), (7, 7, 5)); }
+fn row_1_4_3() {
+    assert_eq!(counts(1, 4, 3), (7, 7, 5));
+}
 
 #[test]
-fn row_2_5_1() { assert_eq!(counts(2, 5, 1), (4, 4, 4)); }
+fn row_2_5_1() {
+    assert_eq!(counts(2, 5, 1), (4, 4, 4));
+}
 
 #[test]
-fn row_1_5_1() { assert_eq!(counts(1, 5, 1), (2, 2, 2)); }
+fn row_1_5_1() {
+    assert_eq!(counts(1, 5, 1), (2, 2, 2));
+}
 
 #[test]
-fn row_1_5_2() { assert_eq!(counts(1, 5, 2), (4, 4, 3)); }
+fn row_1_5_2() {
+    assert_eq!(counts(1, 5, 2), (4, 4, 3));
+}
 
 #[test]
-fn row_1_5_3() { assert_eq!(counts(1, 5, 3), (7, 7, 5)); }
+fn row_1_5_3() {
+    assert_eq!(counts(1, 5, 3), (7, 7, 5));
+}
 
 #[test]
-fn row_1_5_4() { assert_eq!(counts(1, 5, 4), (13, 13, 8)); }
+fn row_1_5_4() {
+    assert_eq!(counts(1, 5, 4), (13, 13, 8));
+}
 
 #[test]
-fn row_3_5_1() { assert_eq!(counts(3, 5, 1), (8, 8, 8)); }
+fn row_3_5_1() {
+    assert_eq!(counts(3, 5, 1), (8, 8, 8));
+}

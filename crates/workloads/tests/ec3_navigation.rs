@@ -13,8 +13,15 @@ fn three_classes_four_plans() {
     for strat in [Strategy::Full, Strategy::Ocs] {
         let res = opt.optimize(&q, &OptimizerConfig::with_strategy(strat));
         assert!(!res.timed_out);
-        assert_eq!(res.plans.len(), 4, "{strat}: {:#?}",
-            res.plans.iter().map(|p| p.query.to_string()).collect::<Vec<_>>());
+        assert_eq!(
+            res.plans.len(),
+            4,
+            "{strat}: {:#?}",
+            res.plans
+                .iter()
+                .map(|p| p.query.to_string())
+                .collect::<Vec<_>>()
+        );
     }
 }
 
@@ -35,21 +42,33 @@ fn plan_count_doubles_per_hop() {
 fn flipped_plan_shape() {
     let ec3 = Ec3::new(3, 0);
     let opt = Optimizer::new(ec3.schema());
-    let res = opt.optimize(&ec3.query(), &OptimizerConfig::with_strategy(Strategy::Full));
+    let res = opt.optimize(
+        &ec3.query(),
+        &OptimizerConfig::with_strategy(Strategy::Full),
+    );
     let fully_flipped = res.plans.iter().find(|p| {
         let s = p.query.to_string();
         s.matches(".P ").count() == 2 && !s.contains(".N ")
     });
-    let q3 = fully_flipped.expect("fully flipped plan must exist").query.to_string();
+    let q3 = fully_flipped
+        .expect("fully flipped plan must exist")
+        .query
+        .to_string();
     // Paper's Q3: from dom M3 k3, M3[k3].P o3, dom M2 k2, M2[k2].P o1 where o3 = k2
     assert!(q3.contains("dom M3"), "{q3}");
     assert!(q3.contains("dom M2"), "{q3}");
-    assert!(!q3.contains("dom M1"), "fully flipped plan does not scan M1: {q3}");
+    assert!(
+        !q3.contains("dom M1"),
+        "fully flipped plan does not scan M1: {q3}"
+    );
     assert_eq!(p_arity(&q3), 4, "{q3}");
 }
 
 fn p_arity(s: &str) -> usize {
-    s.lines().find(|l| l.starts_with("from")).map(|l| l.matches(',').count() + 1).unwrap_or(0)
+    s.lines()
+        .find(|l| l.starts_with("from"))
+        .map(|l| l.matches(',').count() + 1)
+        .unwrap_or(0)
 }
 
 /// With an ASR over the first two hops, the double-flipped navigation can be
@@ -59,12 +78,18 @@ fn asr_plans_appear() {
     let no_asr = {
         let ec3 = Ec3::new(3, 0);
         let opt = Optimizer::new(ec3.schema());
-        opt.optimize(&ec3.query(), &OptimizerConfig::with_strategy(Strategy::Full))
+        opt.optimize(
+            &ec3.query(),
+            &OptimizerConfig::with_strategy(Strategy::Full),
+        )
     };
     let with_asr = {
         let ec3 = Ec3::new(3, 1);
         let opt = Optimizer::new(ec3.schema());
-        opt.optimize(&ec3.query(), &OptimizerConfig::with_strategy(Strategy::Full))
+        opt.optimize(
+            &ec3.query(),
+            &OptimizerConfig::with_strategy(Strategy::Full),
+        )
     };
     assert!(
         with_asr.plans.len() > no_asr.plans.len(),
@@ -73,9 +98,16 @@ fn asr_plans_appear() {
         no_asr.plans.len()
     );
     assert!(
-        with_asr.plans.iter().any(|p| p.physical_used.iter().any(|s| s.as_str() == "ASR1")),
+        with_asr
+            .plans
+            .iter()
+            .any(|p| p.physical_used.iter().any(|s| s.as_str() == "ASR1")),
         "some plan must scan the ASR: {:#?}",
-        with_asr.plans.iter().map(|p| p.query.to_string()).collect::<Vec<_>>()
+        with_asr
+            .plans
+            .iter()
+            .map(|p| p.query.to_string())
+            .collect::<Vec<_>>()
     );
     // Best-first ordering puts an ASR plan at the front.
     assert!(!with_asr.plans[0].physical_used.is_empty());

@@ -32,7 +32,12 @@ fn main() {
         result.strata
     );
     for (i, p) in result.plans.iter().enumerate() {
-        println!("\nplan {} (physical: {:?}):\n{}", i + 1, p.physical_used, p.query);
+        println!(
+            "\nplan {} (physical: {:?}):\n{}",
+            i + 1,
+            p.physical_used,
+            p.query
+        );
     }
 
     let asr_plan = result

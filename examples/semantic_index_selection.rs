@@ -25,7 +25,12 @@ fn main() {
     let result = optimizer.optimize(&ex.query, &OptimizerConfig::with_strategy(Strategy::Full));
     println!("{} plans:", result.plans.len());
     for (i, p) in result.plans.iter().enumerate() {
-        println!("\nplan {} (physical: {:?}):\n{}", i + 1, p.physical_used, p.query);
+        println!(
+            "\nplan {} (physical: {:?}):\n{}",
+            i + 1,
+            p.physical_used,
+            p.query
+        );
     }
 
     // The headline plan: scan S, probe the composite index.
@@ -58,7 +63,8 @@ fn main() {
     for a in 1..=4 {
         db.insert_row(sym("S"), Value::record([(sym("A"), Value::Int(a))]));
     }
-    db.materialize_physical(&ex.schema).expect("materialization");
+    db.materialize_physical(&ex.schema)
+        .expect("materialization");
 
     let baseline = execute(&db, &ex.query).expect("original");
     let via_index = execute(&db, &index_plan.query).expect("index plan");

@@ -28,8 +28,7 @@ fn main() {
     for with_key in [false, true] {
         let ex = Example22::new(with_key);
         let optimizer = Optimizer::new(ex.schema.clone());
-        let result =
-            optimizer.optimize(&ex.query, &OptimizerConfig::with_strategy(Strategy::Full));
+        let result = optimizer.optimize(&ex.query, &OptimizerConfig::with_strategy(Strategy::Full));
         println!(
             "\n=== KEY(R1.K) declared: {with_key} -> {} plans ===",
             result.plans.len()
@@ -58,5 +57,8 @@ fn main() {
         .iter()
         .find(|p| p.physical_used.len() == 2)
         .expect("double-view plan");
-    println!("\nQ'' (paper's rewriting, sound only under KEY(R1.K)):\n{}", qpp.query);
+    println!(
+        "\nQ'' (paper's rewriting, sound only under KEY(R1.K)):\n{}",
+        qpp.query
+    );
 }

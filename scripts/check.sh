@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, lints, and the tier-1 verify command.
+# Everything runs offline — the workspace has no registry dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "All checks passed."

@@ -20,7 +20,9 @@ fn example21_index_unlocked_by_ric() {
     let optimizer = Optimizer::new(ex.schema.clone());
     let res = optimizer.optimize(&ex.query, &OptimizerConfig::with_strategy(Strategy::Full));
     assert!(
-        res.plans.iter().any(|p| p.physical_used.contains(&sym("I"))),
+        res.plans
+            .iter()
+            .any(|p| p.physical_used.contains(&sym("I"))),
         "an index plan must exist"
     );
 

@@ -1,78 +1,117 @@
-//! Property-based tests (proptest) on the core data structures and the
-//! optimizer's soundness invariant: *every plan, executed, agrees with the
-//! original query*.
+//! Property-based tests on the core data structures and the optimizer's
+//! soundness invariant: *every plan, executed, agrees with the original
+//! query*.
+//!
+//! The build environment has no registry access, so instead of an external property-testing framework
+//! these run on a small in-repo harness: a seeded case loop (`cases`) drawing
+//! inputs from the workspace's own [`SplitMix64`] generator. There is no
+//! shrinking; on failure the harness reports the case index and per-case
+//! seed, which reproduce the exact inputs deterministically.
 
 use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use chase_too_far::core::bitset::VarSet;
 use chase_too_far::core::congruence::{Congruence, TermNode};
 use chase_too_far::core::prelude::{
-    chase, chase_query, same_plan, ChaseConfig, Optimizer, OptimizerConfig,
-    Strategy as OptStrategy,
+    chase, chase_query, same_plan, ChaseConfig, Optimizer, OptimizerConfig, Strategy as OptStrategy,
 };
+use chase_too_far::engine::prng::SplitMix64;
 use chase_too_far::engine::{execute, Database};
 use chase_too_far::ir::prelude::*;
-use proptest::prelude::*;
+
+// --------------------------------------------------------------- harness --
+
+/// Runs `n` seeded cases of `property`, reporting the failing case index and
+/// seed (enough to replay: seeds are derived, not random) on panic.
+fn cases(name: &str, n: usize, property: impl Fn(&mut SplitMix64)) {
+    for case in 0..n {
+        // Derive per-case seeds from a fixed root so runs are reproducible
+        // and cases are independent of each other.
+        let seed = SplitMix64::seed_from_u64(0xC0B0_2000 + case as u64).next_u64();
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| property(&mut rng))) {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("<non-string panic>");
+            panic!("property `{name}` failed at case {case}/{n} (seed {seed:#x}):\n{msg}");
+        }
+    }
+}
 
 // ---------------------------------------------------------------- VarSet --
 
-proptest! {
-    /// VarSet behaves like a HashSet<u32> under arbitrary operation traces.
-    #[test]
-    fn varset_matches_model(ops in prop::collection::vec((0u32..200, any::<bool>()), 0..100)) {
+/// VarSet behaves like a HashSet<u32> under arbitrary operation traces.
+#[test]
+fn varset_matches_model() {
+    cases("varset_matches_model", 64, |rng| {
+        let n_ops = rng.gen_range(0usize..100);
         let mut vs = VarSet::new();
         let mut model: HashSet<u32> = HashSet::new();
-        for (v, insert) in ops {
-            if insert {
-                prop_assert_eq!(vs.insert(Var(v)), model.insert(v));
+        for _ in 0..n_ops {
+            let v = rng.gen_range(0u32..200);
+            if rng.gen_bool(0.5) {
+                assert_eq!(vs.insert(Var(v)), model.insert(v));
             } else {
-                prop_assert_eq!(vs.remove(Var(v)), model.remove(&v));
+                assert_eq!(vs.remove(Var(v)), model.remove(&v));
             }
-            prop_assert_eq!(vs.len(), model.len());
-            prop_assert_eq!(vs.contains(Var(v)), model.contains(&v));
+            assert_eq!(vs.len(), model.len());
+            assert_eq!(vs.contains(Var(v)), model.contains(&v));
         }
         let mut elems: Vec<u32> = model.into_iter().collect();
         elems.sort_unstable();
         let got: Vec<u32> = vs.iter().map(|v| v.0).collect();
-        prop_assert_eq!(got, elems);
-    }
+        assert_eq!(got, elems);
+    });
+}
 
-    /// Union and subset agree with the model.
-    #[test]
-    fn varset_union_subset(a in prop::collection::hash_set(0u32..128, 0..40),
-                           b in prop::collection::hash_set(0u32..128, 0..40)) {
+/// Union and subset agree with the model.
+#[test]
+fn varset_union_subset() {
+    let arb_set = |rng: &mut SplitMix64| -> HashSet<u32> {
+        let len = rng.gen_range(0usize..40);
+        (0..len).map(|_| rng.gen_range(0u32..128)).collect()
+    };
+    cases("varset_union_subset", 64, |rng| {
+        let a = arb_set(rng);
+        let b = arb_set(rng);
         let va = VarSet::from_iter(a.iter().map(|&v| Var(v)));
         let vb = VarSet::from_iter(b.iter().map(|&v| Var(v)));
         let mut vu = va.clone();
         vu.union_with(&vb);
         let mu: HashSet<u32> = a.union(&b).copied().collect();
-        prop_assert_eq!(vu.len(), mu.len());
-        prop_assert!(va.is_subset(&vu));
-        prop_assert!(vb.is_subset(&vu));
-        prop_assert_eq!(va.is_subset(&vb), a.is_subset(&b));
-        prop_assert_eq!(va.intersects(&vb), !a.is_disjoint(&b));
-    }
+        assert_eq!(vu.len(), mu.len());
+        assert!(va.is_subset(&vu));
+        assert!(vb.is_subset(&vu));
+        assert_eq!(va.is_subset(&vb), a.is_subset(&b));
+        assert_eq!(va.intersects(&vb), !a.is_disjoint(&b));
+    });
 }
 
 // ----------------------------------------------------------- Congruence --
 
-proptest! {
-    /// After arbitrary merges, `equal` is exactly the reflexive-symmetric-
-    /// transitive closure of the merge edges (computed by a model union-find
-    /// without congruence over plain variables).
-    #[test]
-    fn congruence_matches_union_find_on_vars(
-        edges in prop::collection::vec((0u32..24, 0u32..24), 0..40)
-    ) {
+/// After arbitrary merges, `equal` is exactly the reflexive-symmetric-
+/// transitive closure of the merge edges (computed by a model union-find
+/// without congruence over plain variables).
+#[test]
+fn congruence_matches_union_find_on_vars() {
+    cases("congruence_matches_union_find_on_vars", 48, |rng| {
+        let n_edges = rng.gen_range(0usize..40);
         let mut cong = Congruence::new();
         let terms: Vec<_> = (0..24).map(|i| cong.term(TermNode::Var(Var(i)))).collect();
         let mut model: Vec<u32> = (0..24).collect();
-        fn find(m: &mut Vec<u32>, i: u32) -> u32 {
+        fn find(m: &mut [u32], i: u32) -> u32 {
             let mut r = i;
-            while m[r as usize] != r { r = m[r as usize]; }
+            while m[r as usize] != r {
+                r = m[r as usize];
+            }
             r
         }
-        for (a, b) in edges {
+        for _ in 0..n_edges {
+            let a = rng.gen_range(0u32..24);
+            let b = rng.gen_range(0u32..24);
             cong.merge(terms[a as usize], terms[b as usize]);
             let (ra, rb) = (find(&mut model, a), find(&mut model, b));
             model[ra as usize] = rb;
@@ -80,56 +119,70 @@ proptest! {
         for i in 0..24u32 {
             for j in 0..24u32 {
                 let expected = find(&mut model, i) == find(&mut model, j);
-                prop_assert_eq!(cong.equal(terms[i as usize], terms[j as usize]), expected,
-                    "vars {} {}", i, j);
+                assert_eq!(
+                    cong.equal(terms[i as usize], terms[j as usize]),
+                    expected,
+                    "vars {i} {j}"
+                );
             }
         }
-    }
+    });
+}
 
-    /// Upward congruence: whenever x ≡ y, also x.A ≡ y.A, regardless of
-    /// whether the field terms were created before or after the merges.
-    #[test]
-    fn congruence_upward_closure(
-        edges in prop::collection::vec((0u32..12, 0u32..12), 0..20),
-        before in any::<bool>()
-    ) {
+/// Upward congruence: whenever x ≡ y, also x.A ≡ y.A, regardless of whether
+/// the field terms were created before or after the merges.
+#[test]
+fn congruence_upward_closure() {
+    cases("congruence_upward_closure", 48, |rng| {
+        let n_edges = rng.gen_range(0usize..20);
+        let edges: Vec<(u32, u32)> = (0..n_edges)
+            .map(|_| (rng.gen_range(0u32..12), rng.gen_range(0u32..12)))
+            .collect();
+        let before = rng.gen_bool(0.5);
         let mut cong = Congruence::new();
         let vars: Vec<_> = (0..12).map(|i| cong.term(TermNode::Var(Var(i)))).collect();
         let mut fields = Vec::new();
         if before {
-            fields = vars.iter().map(|&v| cong.term(TermNode::Field(v, sym("A")))).collect();
+            fields = vars
+                .iter()
+                .map(|&v| cong.term(TermNode::Field(v, sym("A"))))
+                .collect();
         }
         for &(a, b) in &edges {
             cong.merge(vars[a as usize], vars[b as usize]);
         }
         if !before {
-            fields = vars.iter().map(|&v| cong.term(TermNode::Field(v, sym("A")))).collect();
+            fields = vars
+                .iter()
+                .map(|&v| cong.term(TermNode::Field(v, sym("A"))))
+                .collect();
         }
         for i in 0..12usize {
             for j in 0..12usize {
                 if cong.equal(vars[i], vars[j]) {
-                    prop_assert!(cong.equal(fields[i], fields[j]));
+                    assert!(cong.equal(fields[i], fields[j]));
                 }
             }
         }
-    }
+    });
 }
 
 // ------------------------------------------------- Random chain queries --
 
 /// A random chain-query scenario: `n` relations, `j ≤ n` secondary indexes,
-/// data sizes and seeds.
-fn chain_scenario() -> impl Strategy<Value = (usize, usize, u64)> {
-    (1usize..=3, 0usize..=3, any::<u64>()).prop_map(|(n, j, seed)| (n, j.min(n), seed))
+/// and a data seed.
+fn chain_scenario(rng: &mut SplitMix64) -> (usize, usize, u64) {
+    let n = rng.gen_range(1usize..4);
+    let j = rng.gen_range(0usize..4).min(n);
+    (n, j, rng.next_u64())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// Soundness, end to end: every plan the optimizer emits computes the
-    /// same answer as the original query on random data.
-    #[test]
-    fn all_plans_agree_on_random_data((n, j, seed) in chain_scenario()) {
+/// Soundness, end to end: every plan the optimizer emits computes the same
+/// answer as the original query on random data.
+#[test]
+fn all_plans_agree_on_random_data() {
+    cases("all_plans_agree_on_random_data", 12, |rng| {
+        let (n, j, seed) = chain_scenario(rng);
         let ec1 = chase_too_far::workloads::Ec1::new(n, j);
         let db = ec1.generate(120, 0.5, seed);
         let q = ec1.query();
@@ -142,89 +195,98 @@ proptest! {
         };
         let baseline = norm(&execute(&db, &q).unwrap().rows);
         for p in &res.plans {
-            prop_assert_eq!(&norm(&execute(&db, &p.query).unwrap().rows), &baseline,
-                "plan diverged:\n{}", p.query);
+            assert_eq!(
+                norm(&execute(&db, &p.query).unwrap().rows),
+                baseline,
+                "plan diverged:\n{}",
+                p.query
+            );
         }
-    }
+    });
+}
 
-    /// The chase is inflationary and idempotent on random chain queries.
-    #[test]
-    fn chase_idempotent((n, j, _seed) in chain_scenario()) {
+/// The chase is inflationary and idempotent on random chain queries.
+#[test]
+fn chase_idempotent() {
+    cases("chase_idempotent", 12, |rng| {
+        let (n, j, _seed) = chain_scenario(rng);
         let ec1 = chase_too_far::workloads::Ec1::new(n, j);
         let cs = ec1.schema().all_constraints();
         let q = ec1.query();
         let (mut db, s1) = chase_query(&q, &cs, ChaseConfig::default());
-        prop_assert!(!s1.truncated);
-        prop_assert!(db.query.from.len() >= q.from.len());
+        assert!(!s1.truncated);
+        assert!(db.query.from.len() >= q.from.len());
         let s2 = chase(&mut db, &cs, ChaseConfig::default());
-        prop_assert_eq!(s2.steps_applied, 0);
-    }
+        assert_eq!(s2.steps_applied, 0);
+    });
 }
 
 // ---------------------------------------------------- Query invariants --
 
-fn arb_query() -> impl Strategy<Value = Query> {
-    // Chains of 1..4 bindings over R0..R3 with random equalities & outputs.
-    (1usize..=4, any::<u64>()).prop_map(|(n, seed)| {
-        let mut q = Query::new();
-        let vars: Vec<Var> = (0..n)
-            .map(|i| q.bind(&format!("x{i}"), Range::Name(sym(&format!("R{}", i % 3)))))
-            .collect();
-        let mut s = seed;
-        let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (s >> 33) as usize
-        };
-        for w in vars.windows(2) {
-            if next() % 2 == 0 {
-                q.equate(PathExpr::from(w[0]).dot("B"), PathExpr::from(w[1]).dot("A"));
-            }
+/// A random chain of 1..4 bindings over R0..R3 with random equalities and
+/// outputs.
+fn arb_query(rng: &mut SplitMix64) -> Query {
+    let n = rng.gen_range(1usize..5);
+    let mut q = Query::new();
+    let vars: Vec<Var> = (0..n)
+        .map(|i| q.bind(&format!("x{i}"), Range::Name(sym(&format!("R{}", i % 3)))))
+        .collect();
+    for w in vars.windows(2) {
+        if rng.gen_bool(0.5) {
+            q.equate(PathExpr::from(w[0]).dot("B"), PathExpr::from(w[1]).dot("A"));
         }
-        for (i, v) in vars.iter().enumerate() {
-            if i == 0 || next() % 2 == 0 {
-                q.output(&format!("O{i}"), PathExpr::from(*v).dot("A"));
-            }
+    }
+    for (i, v) in vars.iter().enumerate() {
+        if i == 0 || rng.gen_bool(0.5) {
+            q.output(&format!("O{i}"), PathExpr::from(*v).dot("A"));
         }
-        q
-    })
+    }
+    q
 }
 
-proptest! {
-    /// canonical_key is invariant under variable renaming.
-    #[test]
-    fn canonical_key_rename_invariant(q in arb_query(), off in 1u32..50) {
-        prop_assert_eq!(q.canonical_key(), q.offset_vars(off).canonical_key());
-    }
+/// canonical_key is invariant under variable renaming.
+#[test]
+fn canonical_key_rename_invariant() {
+    cases("canonical_key_rename_invariant", 64, |rng| {
+        let q = arb_query(rng);
+        let off = rng.gen_range(1u32..50);
+        assert_eq!(q.canonical_key(), q.offset_vars(off).canonical_key());
+    });
+}
 
-    /// same_plan is reflexive and rename-invariant.
-    #[test]
-    fn same_plan_reflexive(q in arb_query(), off in 1u32..50) {
-        prop_assert!(same_plan(&q, &q));
-        prop_assert!(same_plan(&q, &q.offset_vars(off)));
-    }
+/// same_plan is reflexive and rename-invariant.
+#[test]
+fn same_plan_reflexive() {
+    cases("same_plan_reflexive", 64, |rng| {
+        let q = arb_query(rng);
+        let off = rng.gen_range(1u32..50);
+        assert!(same_plan(&q, &q));
+        assert!(same_plan(&q, &q.offset_vars(off)));
+    });
+}
 
-    /// Minimization (no constraints) always yields plans no larger than the
-    /// input and equivalent to it on data.
-    #[test]
-    fn minimization_shrinks_and_preserves(q in arb_query(), seed in any::<u64>()) {
+/// Minimization (no constraints) always yields plans no larger than the
+/// input and equivalent to it on data.
+#[test]
+fn minimization_shrinks_and_preserves() {
+    cases("minimization_shrinks_and_preserves", 24, |rng| {
+        let q = arb_query(rng);
         let optimizer = Optimizer::with_constraints(Schema::new(), vec![]);
         let res = optimizer.optimize(&q, &OptimizerConfig::with_strategy(OptStrategy::Full));
-        prop_assert!(!res.plans.is_empty());
+        assert!(!res.plans.is_empty());
         for p in &res.plans {
-            prop_assert!(p.arity <= q.arity());
+            assert!(p.arity <= q.arity());
         }
         // Execute on random data.
         let mut db = Database::new();
-        let mut s = seed;
-        let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            ((s >> 33) % 5) as i64
-        };
         for r in 0..3 {
             for _ in 0..8 {
                 db.insert_row(
                     sym(&format!("R{r}")),
-                    Value::record([(sym("A"), Value::Int(next())), (sym("B"), Value::Int(next()))]),
+                    Value::record([
+                        (sym("A"), Value::Int(rng.gen_range(0i64..5))),
+                        (sym("B"), Value::Int(rng.gen_range(0i64..5))),
+                    ]),
                 );
             }
         }
@@ -239,8 +301,12 @@ proptest! {
         };
         let baseline = norm(&execute(&db, &q).unwrap().rows);
         for p in &res.plans {
-            prop_assert_eq!(&norm(&execute(&db, &p.query).unwrap().rows), &baseline,
-                "minimized plan diverged:\n{}", p.query);
+            assert_eq!(
+                norm(&execute(&db, &p.query).unwrap().rows),
+                baseline,
+                "minimized plan diverged:\n{}",
+                p.query
+            );
         }
-    }
+    });
 }
