@@ -1,12 +1,21 @@
 //! Micro-benchmarks of the backchase strategies (figs. 6–7), on the in-repo
-//! timing harness.
+//! timing harness — including a `CNB_THREADS` sweep of the parallel frontier
+//! (the FB rows at 1/2/4 workers measure the scoped-pool speedup directly;
+//! plan sets are identical across the sweep by construction).
 
 use cnb_bench::timing::BenchGroup;
 use cnb_core::prelude::*;
 use cnb_workloads::{Ec1, Ec2, Ec3};
 
 fn cfg(strategy: Strategy) -> OptimizerConfig {
-    OptimizerConfig::with_strategy(strategy).timeout(std::time::Duration::from_secs(30))
+    cfg_threads(strategy, 1)
+}
+
+fn cfg_threads(strategy: Strategy, threads: usize) -> OptimizerConfig {
+    let mut cfg =
+        OptimizerConfig::with_strategy(strategy).timeout(std::time::Duration::from_secs(30));
+    cfg.backchase.threads = threads;
+    cfg
 }
 
 fn main() {
@@ -22,6 +31,12 @@ fn main() {
             opt1.optimize(&q1, &cfg(strategy))
         });
     }
+    // Thread sweep on the hottest path: the full backchase frontier.
+    for threads in [1usize, 2, 4] {
+        g.bench(&format!("ec1_4_2/FB/t{threads}"), || {
+            opt1.optimize(&q1, &cfg_threads(Strategy::Full, threads))
+        });
+    }
 
     // EC2 [1,4,2]: one star, 4 corners, 2 overlapping views.
     let ec2 = Ec2::new(1, 4, 2);
@@ -30,6 +45,11 @@ fn main() {
     for strategy in [Strategy::Full, Strategy::Oqf, Strategy::Ocs] {
         g.bench(&format!("ec2_1_4_2/{strategy}"), || {
             opt2.optimize(&q2, &cfg(strategy))
+        });
+    }
+    for threads in [1usize, 2, 4] {
+        g.bench(&format!("ec2_1_4_2/FB/t{threads}"), || {
+            opt2.optimize(&q2, &cfg_threads(Strategy::Full, threads))
         });
     }
 

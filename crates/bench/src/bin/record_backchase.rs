@@ -1,0 +1,98 @@
+//! Records the backchase perf trajectory as JSON (written to
+//! `BENCH_backchase.json` by `scripts/bench_record.sh`): full-backchase
+//! wall-clock on fig. 6/7 workloads at 1/2/4 worker threads, with plan and
+//! explored-subquery counts as a determinism cross-check — the counts must
+//! be identical across the thread sweep, only the timing may move.
+
+use std::time::Instant;
+
+use cnb_core::prelude::*;
+use cnb_workloads::{Ec1, Ec2, Ec3};
+
+struct Point {
+    workload: &'static str,
+    threads: usize,
+    median_secs: f64,
+    plans: usize,
+    explored: usize,
+}
+
+fn measure(
+    workload: &'static str,
+    opt: &Optimizer,
+    q: &cnb_ir::prelude::Query,
+    threads: usize,
+    reps: usize,
+) -> Point {
+    let mut cfg = OptimizerConfig::with_strategy(Strategy::Full).timeout(cnb_bench::timeout());
+    cfg.backchase.threads = threads;
+    let mut times: Vec<f64> = Vec::new();
+    let (mut plans, mut explored) = (0usize, 0usize);
+    for _ in 0..reps {
+        let start = Instant::now();
+        let res = opt.optimize(q, &cfg);
+        times.push(start.elapsed().as_secs_f64());
+        plans = res.plans.len();
+        explored = res.explored;
+    }
+    times.sort_by(f64::total_cmp);
+    Point {
+        workload,
+        threads,
+        median_secs: times[times.len() / 2],
+        plans,
+        explored,
+    }
+}
+
+fn main() {
+    let reps = 3;
+    let sweep = [1usize, 2, 4];
+    let mut points: Vec<Point> = Vec::new();
+
+    // Fig. 6 (right): EC1 chain with secondary indexes.
+    let ec1 = Ec1::new(4, 2);
+    let (q, opt) = (ec1.query(), Optimizer::new(ec1.schema()));
+    for t in sweep {
+        points.push(measure("ec1_4_2", &opt, &q, t, reps));
+    }
+
+    // Fig. 7: EC2 one star, 4 corners, 2 overlapping views.
+    let ec2 = Ec2::new(1, 4, 2);
+    let (q, opt) = (ec2.query(), Optimizer::new(ec2.schema()));
+    for t in sweep {
+        points.push(measure("ec2_1_4_2", &opt, &q, t, reps));
+    }
+
+    // Fig. 6 (left): EC3 navigation, 3 classes.
+    let ec3 = Ec3::new(3, 0);
+    let (q, opt) = (ec3.query(), Optimizer::new(ec3.schema()));
+    for t in sweep {
+        points.push(measure("ec3_3", &opt, &q, t, reps));
+    }
+
+    let recorded_unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!("{{");
+    println!("  \"bench\": \"backchase\",");
+    println!("  \"strategy\": \"FB\",");
+    println!("  \"recorded_unix\": {recorded_unix},");
+    println!("  \"host_cpus\": {host_cpus},");
+    println!("  \"reps\": {reps},");
+    println!("  \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        println!(
+            "    {{\"workload\": \"{}\", \"threads\": {}, \"median_secs\": {:.6}, \"plans\": {}, \"explored\": {}}}{comma}",
+            p.workload, p.threads, p.median_secs, p.plans, p.explored
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}

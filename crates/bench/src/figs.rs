@@ -2,6 +2,13 @@
 //! §5.3.1 plan-count table), extracted from the `src/bin/` drivers so
 //! integration tests can smoke-run every figure with tiny parameters — the
 //! binaries themselves just print the returned markdown.
+//!
+//! The optimization figures (6/7/8 and the plan-count table) honour the
+//! `CNB_THREADS` knob through [`crate::config`]: the backchase shards its
+//! frontier across that many workers. Plan counts and plan order are
+//! thread-count-invariant by construction (see `cnb_core::backchase`), so
+//! rendered tables differ across thread counts only in the timing columns —
+//! `crates/bench/tests/thread_invariance.rs` checks exactly that.
 
 use crate::{cell, config, render_table, run, secs, tpp};
 use cnb_core::prelude::*;
@@ -17,6 +24,13 @@ pub enum Scale {
     Paper,
     /// A seconds-scale subset proving the routine end to end.
     Smoke,
+}
+
+/// The worker count the backchase will actually use under the current
+/// `CNB_THREADS` setting — stamped into figure titles so recorded outputs
+/// are self-describing.
+fn effective_threads() -> usize {
+    cnb_core::parallel::resolve_threads(0)
 }
 
 fn chase_time(q: &cnb_ir::prelude::Query, cs: &[cnb_ir::prelude::Constraint]) -> (f64, usize) {
@@ -170,7 +184,10 @@ pub fn fig6_tpp_ec1_ec3(scale: Scale) -> String {
         ]);
     }
     out.push_str(&render_table(
-        "Fig 6 (right): time per plan [EC1] — seconds (plan count)",
+        &format!(
+            "Fig 6 (right): time per plan [EC1] — seconds (plan count), {} backchase thread(s)",
+            effective_threads()
+        ),
         &["[#relations,#secondary]", "FB", "OQF", "OCS"],
         &t1,
     ));
@@ -253,7 +270,10 @@ pub fn fig7_tpp_ec2(scale: Scale) -> String {
         ]);
     }
     render_table(
-        "Fig 7: time per plan [EC2] — seconds (plan count); — = timeout",
+        &format!(
+            "Fig 7: time per plan [EC2] — seconds (plan count); — = timeout; {} backchase thread(s)",
+            effective_threads()
+        ),
         &["[v,s,c]", "query size", "#constraints", "FB", "OQF", "OCS"],
         &table,
     )

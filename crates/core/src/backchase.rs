@@ -5,17 +5,48 @@
 //! if they are equivalent" (§4). A subquery with no equivalent single-binding
 //! removal is *minimal* and is emitted as a plan. Visited binding subsets and
 //! equivalence verdicts are memoized so each subquery is examined once.
+//!
+//! # Parallelism & determinism
+//!
+//! The expensive part — one constraint-implication chase plus homomorphism
+//! search per candidate subset — is embarrassingly parallel across a wave of
+//! candidates, and §5 reports it dominates optimization time. With
+//! [`BackchaseConfig::threads`] ≥ 2 the search runs in two phases:
+//!
+//! 1. **Parallel frontier** ([`parallel_verdicts`]): a breadth-first wave
+//!    exploration over binding subsets. Each wave's unchecked
+//!    single-removal children are evaluated on the scoped pool of
+//!    [`crate::parallel`]; verdicts merge into one memo keyed by [`VarSet`]
+//!    in wave order (a deterministic merge — results come back in input
+//!    index order regardless of scheduling).
+//! 2. **Sequential replay**: the exact depth-first search of the sequential
+//!    path runs against the pre-filled memo. Every lookup hits, so the
+//!    replay only performs the (cheap) subquery inductions and plan
+//!    deduplication — in the sequential discovery order.
+//!
+//! Because subquery induction is a pure function of the chased universal
+//! plan ([`induce_subquery_pure`]) and the wave set equals the set of
+//! subsets the sequential search checks, a run that does not hit the
+//! timeout or [`BackchaseConfig::max_plans`] produces **identical plans (in
+//! identical order) and an identical `explored` count at every thread
+//! count** — `tests/property_based.rs` enforces this differentially.
+//!
+//! The wall-clock budget is checked cooperatively: workers re-check the
+//! deadline before every candidate, and a timed-out run still replays
+//! whatever verdicts were computed, returning the plans found so far with
+//! [`BackchaseResult::timed_out`] set.
 
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
-use cnb_ir::prelude::{Constraint, Query};
+use cnb_ir::prelude::{Constraint, PathExpr, Query, Symbol};
 
 use crate::bitset::VarSet;
 use crate::canon::CanonDb;
 use crate::chase::{chase, ChaseConfig, ChaseStats};
 use crate::equivalence::EquivChecker;
-use crate::subquery::{all_bindings, induce_subquery};
+use crate::parallel;
+use crate::subquery::{all_bindings, induce_subquery_pure};
 
 /// Backchase limits.
 #[derive(Clone, Debug)]
@@ -26,6 +57,11 @@ pub struct BackchaseConfig {
     pub chase: ChaseConfig,
     /// Stop after this many plans (safety valve; paper never needed one).
     pub max_plans: usize,
+    /// Worker threads for the frontier exploration. `0` = auto (the
+    /// `CNB_THREADS` environment variable, else the machine's available
+    /// parallelism); `1` forces the sequential path. Any value yields the
+    /// same plans in the same order (see the module docs).
+    pub threads: usize,
 }
 
 impl Default for BackchaseConfig {
@@ -34,7 +70,16 @@ impl Default for BackchaseConfig {
             timeout: Some(Duration::from_secs(120)),
             chase: ChaseConfig::default(),
             max_plans: 100_000,
+            threads: 0,
         }
+    }
+}
+
+impl BackchaseConfig {
+    /// The effective worker count (resolving `0` through `CNB_THREADS` and
+    /// the machine's parallelism).
+    pub fn resolved_threads(&self) -> usize {
+        parallel::resolve_threads(self.threads)
     }
 }
 
@@ -90,7 +135,7 @@ pub fn chase_and_backchase(
 pub fn backchase(
     q0: &Query,
     constraints: &[Constraint],
-    mut udb: CanonDb,
+    udb: CanonDb,
     cfg: &BackchaseConfig,
 ) -> BackchaseResult {
     let start = Instant::now();
@@ -101,30 +146,133 @@ pub fn backchase(
     };
 
     let checker = EquivChecker::new(q0, constraints, cfg.chase);
+    let all = all_bindings(&udb.query);
+
+    // Phase 1: precompute equivalence verdicts wave-parallel. Universal
+    // plans with < 3 bindings have at most 2 candidates — not worth a spawn.
+    let threads = cfg.resolved_threads();
+    let mut equiv_memo: HashMap<VarSet, bool> = HashMap::new();
+    if threads >= 2 && all.len() >= 3 {
+        let pre = parallel_verdicts(&udb, &checker, &q0.select, &all, deadline, threads);
+        equiv_memo = pre.memo;
+        result.explored = pre.explored;
+        result.timed_out = pre.timed_out;
+    }
+
+    // Phase 2: the sequential depth-first search. With a pre-filled memo it
+    // is a pure replay emitting plans in the sequential discovery order;
+    // with an empty one it is the sequential backchase itself.
     let mut ctx = Search {
         checker,
-        udb: &mut udb,
+        udb: &udb,
         select: q0.select.clone(),
-        equiv_memo: HashMap::new(),
+        equiv_memo,
         visited: HashSet::new(),
         plan_keys: HashSet::new(),
         result: &mut result,
         deadline,
         plan_cap: cfg.max_plans,
     };
-
-    let all = all_bindings(&ctx.udb.query);
     ctx.explore(&all);
 
     result.backchase_time = start.elapsed();
     result
 }
 
+/// Output of the parallel verdict precomputation.
+struct Precomputed {
+    memo: HashMap<VarSet, bool>,
+    explored: usize,
+    timed_out: bool,
+}
+
+/// Breadth-first wave exploration of the binding-subset lattice, evaluating
+/// each wave's equivalence checks on the scoped thread pool.
+///
+/// Invariant: the subsets evaluated here are exactly the single-removal
+/// children of equivalent subsets reachable from `root` — the same set the
+/// sequential search checks — so `explored` matches the sequential count
+/// whenever no deadline interrupts.
+fn parallel_verdicts(
+    udb: &CanonDb,
+    checker: &EquivChecker<'_>,
+    select: &[(Symbol, PathExpr)],
+    root: &VarSet,
+    deadline: Option<Instant>,
+    threads: usize,
+) -> Precomputed {
+    let mut memo: HashMap<VarSet, bool> = HashMap::new();
+    let mut explored = 0usize;
+    let mut timed_out = false;
+    let mut expanded: HashSet<VarSet> = HashSet::new();
+    expanded.insert(root.clone());
+    let mut frontier: Vec<VarSet> = vec![root.clone()];
+
+    while !frontier.is_empty() && !timed_out {
+        // This wave: unchecked children of the frontier, deduplicated,
+        // ordered by (frontier order, removed variable) — deterministic.
+        let mut wave: Vec<VarSet> = Vec::new();
+        let mut in_wave: HashSet<VarSet> = HashSet::new();
+        for s in &frontier {
+            for v in s.iter() {
+                let child = s.without(v);
+                if !memo.contains_key(&child) && in_wave.insert(child.clone()) {
+                    wave.push(child);
+                }
+            }
+        }
+        frontier.clear();
+        if wave.is_empty() {
+            break;
+        }
+
+        let chunk = parallel::WorkQueue::balanced_chunk(wave.len(), threads);
+        let verdicts = parallel::map_chunked(
+            threads,
+            wave.len(),
+            chunk,
+            || (),
+            |(), i| {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return None;
+                    }
+                }
+                Some(match induce_subquery_pure(udb, &wave[i], select) {
+                    None => false,
+                    Some(q) => checker.equivalent(&q).0,
+                })
+            },
+        );
+
+        // Deterministic merge: wave order, independent of thread count.
+        for (s, v) in wave.into_iter().zip(verdicts) {
+            match v {
+                None => timed_out = true,
+                Some(verdict) => {
+                    explored += 1;
+                    if verdict && expanded.insert(s.clone()) {
+                        frontier.push(s.clone());
+                    }
+                    memo.insert(s, verdict);
+                }
+            }
+        }
+    }
+
+    Precomputed {
+        memo,
+        explored,
+        timed_out,
+    }
+}
+
 struct Search<'a, 'b> {
     checker: EquivChecker<'a>,
-    udb: &'b mut CanonDb,
-    select: Vec<(cnb_ir::prelude::Symbol, cnb_ir::prelude::PathExpr)>,
-    /// Equivalence verdict per binding subset.
+    udb: &'b CanonDb,
+    select: Vec<(Symbol, PathExpr)>,
+    /// Equivalence verdict per binding subset (pre-filled by the parallel
+    /// frontier when enabled; grown on demand otherwise).
     equiv_memo: HashMap<VarSet, bool>,
     /// Subsets whose children have been expanded.
     visited: HashSet<VarSet>,
@@ -136,37 +284,31 @@ struct Search<'a, 'b> {
 }
 
 impl Search<'_, '_> {
-    fn out_of_budget(&mut self) -> bool {
-        if self.result.plans.len() >= self.plan_cap {
-            return true;
-        }
-        if let Some(d) = self.deadline {
-            if Instant::now() >= d {
-                self.result.timed_out = true;
-                return true;
-            }
-        }
-        false
-    }
-
     /// `s` is known equivalent; expand its children.
     fn explore(&mut self, s: &VarSet) {
         if !self.visited.insert(s.clone()) {
             return;
         }
         let mut minimal = true;
+        // All children decided? A deadline miss leaves minimality unproven,
+        // so the subset must not be emitted as a plan.
+        let mut decided = true;
         for v in s.iter().collect::<Vec<_>>() {
-            if self.out_of_budget() {
+            if self.result.plans.len() >= self.plan_cap {
                 return;
             }
             let child = s.without(v);
-            if self.is_equivalent(&child) {
-                minimal = false;
-                self.explore(&child);
+            match self.verdict(&child) {
+                Some(true) => {
+                    minimal = false;
+                    self.explore(&child);
+                }
+                Some(false) => {}
+                None => decided = false,
             }
         }
-        if minimal && !self.out_of_budget() {
-            if let Some(q) = induce_subquery(self.udb, s, &self.select) {
+        if minimal && decided && self.result.plans.len() < self.plan_cap {
+            if let Some(q) = induce_subquery_pure(self.udb, s, &self.select) {
                 // Fast syntactic dedup first; semantic dedup catches plans
                 // whose from-clauses list the same bindings in other orders.
                 let new_key = self.plan_keys.insert(q.canonical_key());
@@ -186,20 +328,26 @@ impl Search<'_, '_> {
         }
     }
 
-    fn is_equivalent(&mut self, s: &VarSet) -> bool {
+    /// The equivalence verdict for subset `s`: memo hit, or — while the time
+    /// budget lasts — a fresh evaluation. `None` means the deadline expired
+    /// before the verdict could be computed.
+    fn verdict(&mut self, s: &VarSet) -> Option<bool> {
         if let Some(&v) = self.equiv_memo.get(s) {
-            return v;
+            return Some(v);
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.result.timed_out = true;
+                return None;
+            }
         }
         self.result.explored += 1;
-        let verdict = match induce_subquery(self.udb, s, &self.select) {
+        let verdict = match induce_subquery_pure(self.udb, s, &self.select) {
             None => false,
-            Some(q) => {
-                let (eq, _) = self.checker.equivalent(&q);
-                eq
-            }
+            Some(q) => self.checker.equivalent(&q).0,
         };
         self.equiv_memo.insert(s.clone(), verdict);
-        verdict
+        Some(verdict)
     }
 }
 
@@ -219,6 +367,13 @@ mod tests {
                 rs.join(",")
             })
             .collect()
+    }
+
+    fn cfg_with_threads(threads: usize) -> BackchaseConfig {
+        BackchaseConfig {
+            threads,
+            ..BackchaseConfig::default()
+        }
     }
 
     /// Example 3.1 with n = 1: one relation, one primary index → 2 plans.
@@ -394,11 +549,10 @@ mod tests {
         assert_eq!(res.plans[0].query.from[0].range, Range::Dom(sym("I1")));
     }
 
-    /// Timeout produces a partial result with the flag set.
-    #[test]
-    fn timeout_is_reported() {
+    /// An EC1-style chain with indexes: chain of n relations.
+    fn indexed_chain(n: usize) -> (Schema, Query) {
         let mut schema = Schema::new();
-        for i in 1..=6 {
+        for i in 1..=n {
             schema.add_relation(
                 format!("T{i}"),
                 [(sym("A"), Type::Int), (sym("B"), Type::Int)],
@@ -411,19 +565,78 @@ mod tests {
             );
         }
         let mut q = Query::new();
-        let vars: Vec<Var> = (1..=6)
+        let vars: Vec<Var> = (1..=n)
             .map(|i| q.bind(&format!("t{i}"), Range::Name(sym(&format!("T{i}")))))
             .collect();
         for w in vars.windows(2) {
             q.equate(PathExpr::from(w[0]).dot("B"), PathExpr::from(w[1]).dot("A"));
         }
         q.output("A", PathExpr::from(vars[0]).dot("A"));
+        (schema, q)
+    }
 
+    /// Timeout produces a partial result with the flag set.
+    #[test]
+    fn timeout_is_reported() {
+        let (schema, q) = indexed_chain(6);
         let cfg = BackchaseConfig {
             timeout: Some(Duration::from_millis(1)),
             ..BackchaseConfig::default()
         };
         let res = chase_and_backchase(&q, &schema.all_constraints(), &cfg);
         assert!(res.timed_out || res.plans.len() == 64);
+    }
+
+    /// The parallel path agrees with the sequential one byte for byte —
+    /// plans (order included), bindings, and explored counts — at every
+    /// thread count, even beyond the machine's core count.
+    #[test]
+    fn parallel_matches_sequential() {
+        for n in 2..=4usize {
+            let (schema, q) = indexed_chain(n);
+            let cs = schema.all_constraints();
+            let seq = chase_and_backchase(&q, &cs, &cfg_with_threads(1));
+            assert_eq!(seq.plans.len(), 1 << n);
+            let fingerprint = |r: &BackchaseResult| -> Vec<String> {
+                r.plans
+                    .iter()
+                    .map(|p| format!("{:?} :: {}", p.bindings, p.query))
+                    .collect()
+            };
+            for threads in [2, 4, 8] {
+                let par = chase_and_backchase(&q, &cs, &cfg_with_threads(threads));
+                assert_eq!(
+                    fingerprint(&seq),
+                    fingerprint(&par),
+                    "n={n} threads={threads}: plan sets or order diverged"
+                );
+                assert_eq!(
+                    seq.explored, par.explored,
+                    "n={n} threads={threads}: explored counts diverged"
+                );
+                assert!(!par.timed_out);
+            }
+        }
+    }
+
+    /// An already-expired deadline reports a timeout (and no spurious plans)
+    /// on both the sequential and the parallel path.
+    #[test]
+    fn expired_deadline_is_cooperative() {
+        let (schema, q) = indexed_chain(4);
+        for threads in [1, 4] {
+            let cfg = BackchaseConfig {
+                timeout: Some(Duration::ZERO),
+                threads,
+                ..BackchaseConfig::default()
+            };
+            let res = chase_and_backchase(&q, &schema.all_constraints(), &cfg);
+            assert!(res.timed_out, "threads={threads}");
+            assert!(
+                res.plans.is_empty(),
+                "threads={threads}: minimality of {} plans was never proven",
+                res.plans.len()
+            );
+        }
     }
 }

@@ -21,7 +21,7 @@ use crate::canon::CanonDb;
 use crate::chase::chase;
 use crate::cost::CostModel;
 use crate::equivalence::EquivChecker;
-use crate::subquery::induce_subquery;
+use crate::subquery::induce_subquery_pure;
 
 /// Runs chase + bottom-up backchase. Candidates are enumerated by size
 /// (1, 2, …); the first equivalent candidates found are the minimal plans.
@@ -85,7 +85,7 @@ pub fn bottom_up_backchase(
                     }
                 }
             };
-            let Some(cand) = induce_subquery(&mut udb, &keep, &q0.select) else {
+            let Some(cand) = induce_subquery_pure(&udb, &keep, &q0.select) else {
                 // Output not recoverable yet; more bindings may fix that.
                 grow(&mut next, &mut seen);
                 continue;

@@ -11,7 +11,9 @@
 //! plus the two stratification strategies that make the backchase practical:
 //! [`fragments`] (on-line query fragmentation, OQF, §3.2.1) and [`strata`]
 //! (off-line constraint stratification, OCS, §3.2.2), tied together by the
-//! [`optimizer`] facade.
+//! [`optimizer`] facade. The backchase frontier can run on the hand-rolled
+//! scoped thread pool of [`parallel`] (`CNB_THREADS`), producing plans
+//! byte-identical to the sequential search at any thread count.
 
 #![warn(missing_docs)]
 
@@ -26,6 +28,7 @@ pub mod equivalence;
 pub mod fragments;
 pub mod homomorphism;
 pub mod optimizer;
+pub mod parallel;
 pub mod strata;
 pub mod subquery;
 
@@ -44,6 +47,7 @@ pub mod prelude {
     pub use crate::fragments::{decompose, Fragment};
     pub use crate::homomorphism::{find_homs, hom_exists, HomConfig, HomMap};
     pub use crate::optimizer::{OptimizeResult, Optimizer, OptimizerConfig, PlanInfo, Strategy};
+    pub use crate::parallel::{map_chunked, resolve_threads, WorkQueue};
     pub use crate::strata::{regroup, stratify};
-    pub use crate::subquery::{all_bindings, induce_subquery};
+    pub use crate::subquery::{all_bindings, induce_subquery, induce_subquery_pure};
 }

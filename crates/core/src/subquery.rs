@@ -139,6 +139,23 @@ fn lookups_guarded(
     }
 }
 
+/// Pure-function variant of [`induce_subquery`]: works on a scratch clone so
+/// `db` is left untouched.
+///
+/// Induction saturates congruence classes and interns rebuilt terms, so a
+/// shared mutable `CanonDb` would make each induced subquery depend on every
+/// *previous* induction (term ids feed the `class_paths_over` tie-break).
+/// The backchase — sequential and parallel alike — uses this wrapper so the
+/// result is a function of `(db, keep, select)` only, which is the property
+/// the thread-count-independence guarantee rests on.
+pub fn induce_subquery_pure(
+    db: &CanonDb,
+    keep: &VarSet,
+    select: &[(Symbol, PathExpr)],
+) -> Option<Query> {
+    induce_subquery(&mut db.clone(), keep, select)
+}
+
 /// The set of all bound variables of a query.
 pub fn all_bindings(q: &Query) -> VarSet {
     VarSet::from_iter(q.from.iter().map(|b| b.var))

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Records the backchase perf trajectory (fig. 6/7 workloads, full backchase,
+# 1/2/4 worker threads) into BENCH_backchase.json at the repo root.
+# Fully offline; ~half a minute of measurement on a laptop-class core.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -q --bin record_backchase
+./target/release/record_backchase >BENCH_backchase.json
+echo "wrote $(pwd)/BENCH_backchase.json:"
+cat BENCH_backchase.json

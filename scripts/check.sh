@@ -1,6 +1,10 @@
 #!/usr/bin/env bash
 # Full local gate: formatting, lints, and the tier-1 verify command.
 # Everything runs offline — the workspace has no registry dependencies.
+#
+# The tier-1 tests run twice: once with the backchase pinned sequential
+# (CNB_THREADS=1) and once with a 4-worker parallel frontier — the results
+# must be identical by construction, so both runs must be green.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,7 +17,10 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> CNB_THREADS=1 cargo test -q   (sequential backchase)"
+CNB_THREADS=1 cargo test -q
+
+echo "==> CNB_THREADS=4 cargo test -q   (parallel backchase frontier)"
+CNB_THREADS=4 cargo test -q
 
 echo "All checks passed."

@@ -14,7 +14,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use chase_too_far::core::bitset::VarSet;
 use chase_too_far::core::congruence::{Congruence, TermNode};
 use chase_too_far::core::prelude::{
-    chase, chase_query, same_plan, ChaseConfig, Optimizer, OptimizerConfig, Strategy as OptStrategy,
+    chase, chase_and_backchase, chase_query, same_plan, BackchaseConfig, BackchaseResult,
+    ChaseConfig, Optimizer, OptimizerConfig, Strategy as OptStrategy,
 };
 use chase_too_far::engine::prng::SplitMix64;
 use chase_too_far::engine::{execute, Database};
@@ -218,6 +219,82 @@ fn chase_idempotent() {
         assert!(db.query.from.len() >= q.from.len());
         let s2 = chase(&mut db, &cs, ChaseConfig::default());
         assert_eq!(s2.steps_applied, 0);
+    });
+}
+
+// ------------------------------------------- Parallel backchase (diff) --
+
+/// One plan's identity: kept binding set plus the full query text. Vec
+/// equality therefore checks the plan *set, order included*, byte for byte.
+fn backchase_fingerprint(res: &BackchaseResult) -> Vec<String> {
+    res.plans
+        .iter()
+        .map(|p| format!("{:?} :: {}", p.bindings, p.query))
+        .collect()
+}
+
+/// Runs the backchase sequentially and at 2/4/8 worker threads, asserting
+/// byte-identical plans (order included) and identical `explored` counts —
+/// the determinism contract of `cnb_core::backchase`.
+fn assert_thread_invariant(q: &Query, cs: &[Constraint], label: &str) {
+    let cfg = |threads: usize| BackchaseConfig {
+        threads,
+        ..BackchaseConfig::default()
+    };
+    let seq = chase_and_backchase(q, cs, &cfg(1));
+    assert!(!seq.timed_out, "{label}: sequential run timed out");
+    let seq_fp = backchase_fingerprint(&seq);
+    for threads in [2usize, 4, 8] {
+        let par = chase_and_backchase(q, cs, &cfg(threads));
+        assert!(!par.timed_out, "{label}: {threads}-thread run timed out");
+        assert_eq!(
+            seq_fp,
+            backchase_fingerprint(&par),
+            "{label}: plans or their order diverged at {threads} threads"
+        );
+        assert_eq!(
+            seq.explored, par.explored,
+            "{label}: explored counts diverged at {threads} threads"
+        );
+        assert_eq!(seq.universal_arity, par.universal_arity);
+    }
+}
+
+/// Differential suite, workload half: random EC1 chain scenarios (relations,
+/// primary/secondary indexes) behave identically at 1/2/4/8 threads.
+#[test]
+fn parallel_backchase_differential_ec1() {
+    cases("parallel_backchase_differential_ec1", 8, |rng| {
+        let (n, j, _seed) = chain_scenario(rng);
+        let ec1 = chase_too_far::workloads::Ec1::new(n, j);
+        assert_thread_invariant(&ec1.query(), &ec1.schema().all_constraints(), "ec1");
+    });
+}
+
+/// Differential suite, random half: arbitrary chain queries under randomly
+/// drawn key and referential constraints behave identically at 1/2/4/8
+/// threads.
+#[test]
+fn parallel_backchase_differential_random() {
+    cases("parallel_backchase_differential_random", 12, |rng| {
+        let q = arb_query(rng);
+        let mut cs: Vec<Constraint> = Vec::new();
+        for i in 0..3u32 {
+            if rng.gen_bool(0.5) {
+                cs.push(key_constraint(sym(&format!("R{i}")), sym("A")));
+            }
+            if i < 2 && rng.gen_bool(0.3) {
+                // R_i.B references R_{i+1}.A — an inclusion/RIC constraint.
+                // Only forward edges: a constraint cycle would make the
+                // chase non-terminating (cap-truncated) and the test slow.
+                let mut ric = Constraint::new(format!("RIC{i}"));
+                let r = ric.forall("r", Range::Name(sym(&format!("R{i}"))));
+                let s = ric.exists("s", Range::Name(sym(&format!("R{}", i + 1))));
+                ric.then(PathExpr::from(r).dot("B"), PathExpr::from(s).dot("A"));
+                cs.push(ric);
+            }
+        }
+        assert_thread_invariant(&q, &cs, "random");
     });
 }
 
