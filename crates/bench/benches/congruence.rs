@@ -40,6 +40,18 @@ fn main() {
         });
     }
 
+    // Savepoint churn: the backchase hot-loop shape — save, intern a few
+    // fresh terms, merge (with congruence cascades), roll back. The flat
+    // median across base sizes is the O(delta) rollback claim, measured.
+    for base_terms in [64u32, 512] {
+        let mut rig = cnb_bench::ChurnRig::new(base_terms);
+        let mut k = 0u32;
+        g.bench(&format!("save_rollback_churn/{base_terms}"), || {
+            k = k.wrapping_add(1);
+            rig.cycle(k)
+        });
+    }
+
     // implied() on a realistic chased query.
     let ec2 = cnb_workloads::Ec2::new(2, 3, 2);
     let cs = ec2.schema().all_constraints();

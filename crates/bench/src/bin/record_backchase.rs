@@ -2,7 +2,9 @@
 //! `BENCH_backchase.json` by `scripts/bench_record.sh`): full-backchase
 //! wall-clock on fig. 6/7 workloads at 1/2/4 worker threads, with plan and
 //! explored-subquery counts as a determinism cross-check — the counts must
-//! be identical across the thread sweep, only the timing may move.
+//! be identical across the thread sweep, only the timing may move — plus a
+//! `micro` section with the congruence savepoint-churn microbench
+//! (intern + merge + rollback, the backchase hot-loop shape).
 
 use std::time::Instant;
 
@@ -43,6 +45,23 @@ fn measure(
         plans,
         explored,
     }
+}
+
+/// Median seconds for `iters` savepoint-churn cycles ([`cnb_bench::ChurnRig`],
+/// the same workload `cargo bench --bench congruence` reports as
+/// `save_rollback_churn/*`).
+fn congruence_churn_secs(base_terms: u32, iters: u32, reps: usize) -> f64 {
+    let mut rig = cnb_bench::ChurnRig::new(base_terms);
+    let mut times: Vec<f64> = Vec::new();
+    for _ in 0..reps {
+        let start = Instant::now();
+        for k in 0..iters {
+            std::hint::black_box(rig.cycle(k));
+        }
+        times.push(start.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
 }
 
 fn main() {
@@ -91,6 +110,17 @@ fn main() {
         println!(
             "    {{\"workload\": \"{}\", \"threads\": {}, \"median_secs\": {:.6}, \"plans\": {}, \"explored\": {}}}{comma}",
             p.workload, p.threads, p.median_secs, p.plans, p.explored
+        );
+    }
+    println!("  ],");
+    println!("  \"micro\": [");
+    let churn_iters = 10_000u32;
+    let churn_bases = [64u32, 512];
+    for (i, base) in churn_bases.into_iter().enumerate() {
+        let secs = congruence_churn_secs(base, churn_iters, reps);
+        let comma = if i + 1 < churn_bases.len() { "," } else { "" };
+        println!(
+            "    {{\"name\": \"congruence_churn/{base}\", \"iters\": {churn_iters}, \"median_secs\": {secs:.6}}}{comma}"
         );
     }
     println!("  ]");

@@ -25,18 +25,26 @@
 //!    deduplication — in the sequential discovery order.
 //!
 //! Because subquery induction is a pure function of the chased universal
-//! plan ([`induce_subquery_pure`]) and the wave set equals the set of
-//! subsets the sequential search checks, a run that does not hit the
+//! plan ([`induce_subquery_pure`] — a congruence savepoint, an in-place
+//! restriction, and a byte-exact rollback) and the wave set equals the set
+//! of subsets the sequential search checks, a run that does not hit the
 //! timeout or [`BackchaseConfig::max_plans`] produces **identical plans (in
 //! identical order) and an identical `explored` count at every thread
 //! count** — `tests/property_based.rs` enforces this differentially.
+//!
+//! The hot loop allocates no databases: each worker owns one copy of the
+//! universal plan (rolled back after every induction) and one scratch
+//! database the equivalence checker rebuilds in place per candidate
+//! ([`EquivChecker::equivalent_into`]); the sequential search uses the
+//! universal plan itself the same way. Per run that is zero clones
+//! sequentially and one per worker in parallel — down from one clone *per
+//! candidate* (`tests/clone_audit.rs` pins this).
 //!
 //! The wall-clock budget is checked cooperatively: workers re-check the
 //! deadline before every candidate, and a timed-out run still replays
 //! whatever verdicts were computed, returning the plans found so far with
 //! [`BackchaseResult::timed_out`] set.
 
-use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
 use cnb_ir::prelude::{Constraint, PathExpr, Query, Symbol};
@@ -45,6 +53,7 @@ use crate::bitset::VarSet;
 use crate::canon::CanonDb;
 use crate::chase::{chase, ChaseConfig, ChaseStats};
 use crate::equivalence::EquivChecker;
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::parallel;
 use crate::subquery::{all_bindings, induce_subquery_pure};
 
@@ -122,7 +131,7 @@ pub fn chase_and_backchase(
     cfg: &BackchaseConfig,
 ) -> BackchaseResult {
     let start = Instant::now();
-    let mut udb = CanonDb::new(q0.clone());
+    let mut udb = CanonDb::new(q0);
     let chase_stats = chase(&mut udb, constraints, cfg.chase);
     let chase_time = start.elapsed();
     let mut result = backchase(q0, constraints, udb, cfg);
@@ -132,10 +141,15 @@ pub fn chase_and_backchase(
 }
 
 /// Runs the backchase from an already-chased universal plan.
+///
+/// Takes the universal plan by value: the search works on it *in place* —
+/// every candidate induction is a congruence savepoint, a restriction, and a
+/// rollback — so the sequential path performs **zero** database clones and
+/// the parallel path exactly one per worker (see `tests/clone_audit.rs`).
 pub fn backchase(
     q0: &Query,
     constraints: &[Constraint],
-    udb: CanonDb,
+    mut udb: CanonDb,
     cfg: &BackchaseConfig,
 ) -> BackchaseResult {
     let start = Instant::now();
@@ -151,7 +165,7 @@ pub fn backchase(
     // Phase 1: precompute equivalence verdicts wave-parallel. Universal
     // plans with < 3 bindings have at most 2 candidates — not worth a spawn.
     let threads = cfg.resolved_threads();
-    let mut equiv_memo: HashMap<VarSet, bool> = HashMap::new();
+    let mut equiv_memo: FxHashMap<VarSet, bool> = FxHashMap::default();
     if threads >= 2 && all.len() >= 3 {
         let pre = parallel_verdicts(&udb, &checker, &q0.select, &all, deadline, threads);
         equiv_memo = pre.memo;
@@ -164,11 +178,12 @@ pub fn backchase(
     // with an empty one it is the sequential backchase itself.
     let mut ctx = Search {
         checker,
-        udb: &udb,
+        udb: &mut udb,
+        scratch: CanonDb::empty(),
         select: q0.select.clone(),
         equiv_memo,
-        visited: HashSet::new(),
-        plan_keys: HashSet::new(),
+        visited: FxHashSet::default(),
+        plan_keys: FxHashSet::default(),
         result: &mut result,
         deadline,
         plan_cap: cfg.max_plans,
@@ -181,9 +196,21 @@ pub fn backchase(
 
 /// Output of the parallel verdict precomputation.
 struct Precomputed {
-    memo: HashMap<VarSet, bool>,
+    memo: FxHashMap<VarSet, bool>,
     explored: usize,
     timed_out: bool,
+}
+
+/// Per-worker state of the parallel frontier, built once per backchase run
+/// and reused across all waves: a private copy of the universal plan that
+/// in-place induction saves/restricts/rolls back per candidate, plus a
+/// scratch database the equivalence checker rebuilds per candidate without
+/// reallocating. This replaces the old per-*candidate* clone of the entire
+/// universal-plan database (2,579 clones per `ec1_4_2` run) with one clone
+/// per *worker* per run.
+struct VerdictWorker {
+    udb: CanonDb,
+    scratch: CanonDb,
 }
 
 /// Breadth-first wave exploration of the binding-subset lattice, evaluating
@@ -192,7 +219,10 @@ struct Precomputed {
 /// Invariant: the subsets evaluated here are exactly the single-removal
 /// children of equivalent subsets reachable from `root` — the same set the
 /// sequential search checks — so `explored` matches the sequential count
-/// whenever no deadline interrupts.
+/// whenever no deadline interrupts. Determinism: savepoint rollback restores
+/// each worker's database byte-exactly after every candidate, so all workers
+/// evaluate every candidate against the same state the sequential search
+/// would — verdicts cannot depend on which worker ran what.
 fn parallel_verdicts(
     udb: &CanonDb,
     checker: &EquivChecker<'_>,
@@ -201,18 +231,24 @@ fn parallel_verdicts(
     deadline: Option<Instant>,
     threads: usize,
 ) -> Precomputed {
-    let mut memo: HashMap<VarSet, bool> = HashMap::new();
+    let mut memo: FxHashMap<VarSet, bool> = FxHashMap::default();
     let mut explored = 0usize;
     let mut timed_out = false;
-    let mut expanded: HashSet<VarSet> = HashSet::new();
+    let mut expanded: FxHashSet<VarSet> = FxHashSet::default();
     expanded.insert(root.clone());
     let mut frontier: Vec<VarSet> = vec![root.clone()];
+    let mut workers: Vec<VerdictWorker> = (0..threads)
+        .map(|_| VerdictWorker {
+            udb: udb.clone(),
+            scratch: CanonDb::empty(),
+        })
+        .collect();
 
     while !frontier.is_empty() && !timed_out {
         // This wave: unchecked children of the frontier, deduplicated,
         // ordered by (frontier order, removed variable) — deterministic.
         let mut wave: Vec<VarSet> = Vec::new();
-        let mut in_wave: HashSet<VarSet> = HashSet::new();
+        let mut in_wave: FxHashSet<VarSet> = FxHashSet::default();
         for s in &frontier {
             for v in s.iter() {
                 let child = s.without(v);
@@ -227,23 +263,17 @@ fn parallel_verdicts(
         }
 
         let chunk = parallel::WorkQueue::balanced_chunk(wave.len(), threads);
-        let verdicts = parallel::map_chunked(
-            threads,
-            wave.len(),
-            chunk,
-            || (),
-            |(), i| {
-                if let Some(d) = deadline {
-                    if Instant::now() >= d {
-                        return None;
-                    }
+        let verdicts = parallel::map_chunked_with(&mut workers, wave.len(), chunk, |w, i| {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    return None;
                 }
-                Some(match induce_subquery_pure(udb, &wave[i], select) {
-                    None => false,
-                    Some(q) => checker.equivalent(&q).0,
-                })
-            },
-        );
+            }
+            Some(match induce_subquery_pure(&mut w.udb, &wave[i], select) {
+                None => false,
+                Some(q) => checker.equivalent_into(&mut w.scratch, &q).0,
+            })
+        });
 
         // Deterministic merge: wave order, independent of thread count.
         for (s, v) in wave.into_iter().zip(verdicts) {
@@ -269,15 +299,20 @@ fn parallel_verdicts(
 
 struct Search<'a, 'b> {
     checker: EquivChecker<'a>,
-    udb: &'b CanonDb,
+    /// The universal plan, mutated only transiently: every induction is a
+    /// savepoint/rollback pair, so between candidates it always holds the
+    /// exact chased state.
+    udb: &'b mut CanonDb,
+    /// Recycled candidate database for equivalence checks.
+    scratch: CanonDb,
     select: Vec<(Symbol, PathExpr)>,
     /// Equivalence verdict per binding subset (pre-filled by the parallel
     /// frontier when enabled; grown on demand otherwise).
-    equiv_memo: HashMap<VarSet, bool>,
+    equiv_memo: FxHashMap<VarSet, bool>,
     /// Subsets whose children have been expanded.
-    visited: HashSet<VarSet>,
+    visited: FxHashSet<VarSet>,
     /// Canonical keys of emitted plans (deduplication).
-    plan_keys: HashSet<String>,
+    plan_keys: FxHashSet<String>,
     result: &'a mut BackchaseResult,
     deadline: Option<Instant>,
     plan_cap: usize,
@@ -344,7 +379,7 @@ impl Search<'_, '_> {
         self.result.explored += 1;
         let verdict = match induce_subquery_pure(self.udb, s, &self.select) {
             None => false,
-            Some(q) => self.checker.equivalent(&q).0,
+            Some(q) => self.checker.equivalent_into(&mut self.scratch, &q).0,
         };
         self.equiv_memo.insert(s.clone(), verdict);
         Some(verdict)

@@ -35,7 +35,7 @@ pub fn bottom_up_backchase(
     seed_bound: Option<f64>,
 ) -> BackchaseResult {
     let start = Instant::now();
-    let mut udb = CanonDb::new(q0.clone());
+    let mut udb = CanonDb::new(q0);
     let chase_stats = chase(&mut udb, constraints, cfg.chase);
     let chase_time = start.elapsed();
 
@@ -47,6 +47,10 @@ pub fn bottom_up_backchase(
     };
     let deadline = cfg.timeout.map(|t| start + t);
     let checker = EquivChecker::new(q0, constraints, cfg.chase);
+    // Candidate databases are recycled through this scratch; inductions run
+    // in place on `udb` under savepoints — no per-candidate clones here
+    // either (same discipline as the top-down frontier).
+    let mut scratch = CanonDb::empty();
     let all_vars: Vec<cnb_ir::prelude::Var> = udb.query.from.iter().map(|b| b.var).collect();
     let n = all_vars.len();
 
@@ -85,7 +89,7 @@ pub fn bottom_up_backchase(
                     }
                 }
             };
-            let Some(cand) = induce_subquery_pure(&udb, &keep, &q0.select) else {
+            let Some(cand) = induce_subquery_pure(&mut udb, &keep, &q0.select) else {
                 // Output not recoverable yet; more bindings may fix that.
                 grow(&mut next, &mut seen);
                 continue;
@@ -97,7 +101,7 @@ pub fn bottom_up_backchase(
                 continue;
             }
             result.explored += 1;
-            let (eq, _) = checker.equivalent(&cand);
+            let (eq, _) = checker.equivalent_into(&mut scratch, &cand);
             if eq {
                 if pruning {
                     best_cost = best_cost.min(cost);

@@ -7,12 +7,24 @@
 //! implication checks ("does P₁ = P₂ follow from the where clause?") are
 //! union-find lookups.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use cnb_ir::prelude::{Equality, PathExpr, Query, Range, Var};
 
 use crate::congruence::{Congruence, TermId};
 
+/// Process-wide count of [`CanonDb`] clones. The backchase hot loop must not
+/// clone per candidate — only once per worker per run — and
+/// `tests/clone_audit.rs` enforces that by watching this counter.
+static CLONES: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of [`CanonDb`] clones performed since process start.
+#[doc(hidden)]
+pub fn canon_db_clones() -> usize {
+    CLONES.load(Ordering::Relaxed)
+}
+
 /// A query together with its congruence closure.
-#[derive(Clone)]
 pub struct CanonDb {
     /// The (possibly chased) query. Bindings only grow; where-clause
     /// equalities are mirrored into the congruence as they are added.
@@ -21,26 +33,61 @@ pub struct CanonDb {
     pub cong: Congruence,
 }
 
+impl Clone for CanonDb {
+    fn clone(&self) -> CanonDb {
+        debug_assert!(
+            !self.cong.in_savepoint(),
+            "cloning a CanonDb mid-savepoint shares the live savepoint stack"
+        );
+        CLONES.fetch_add(1, Ordering::Relaxed);
+        CanonDb {
+            query: self.query.clone(),
+            cong: self.cong.clone(),
+        }
+    }
+}
+
 impl CanonDb {
-    /// Compiles `query` into its canonical database.
-    pub fn new(query: Query) -> CanonDb {
-        let mut db = CanonDb {
+    /// A database over the empty query — the starting point for
+    /// [`CanonDb::reset_to`]-style scratch reuse.
+    pub fn empty() -> CanonDb {
+        CanonDb {
             query: Query::new(),
             cong: Congruence::new(),
-        };
-        db.query.reserve_vars(query.var_bound());
-        db.query.select = query.select.clone();
+        }
+    }
+
+    /// Compiles `query` into its canonical database.
+    pub fn new(query: &Query) -> CanonDb {
+        let mut db = CanonDb::empty();
+        db.load(query);
+        db
+    }
+
+    /// Rebuilds this database from `query` in place, reusing the arena and
+    /// hash-table allocations of whatever it held before. Equivalent to
+    /// `*self = CanonDb::new(query)` — same term ids, same closure — without
+    /// the per-candidate allocation churn; the equivalence checker recycles
+    /// one scratch database through thousands of candidates this way.
+    pub fn reset_to(&mut self, query: &Query) {
+        self.query.clear();
+        self.cong.clear();
+        self.load(query);
+    }
+
+    fn load(&mut self, query: &Query) {
+        self.query.reserve_vars(query.var_bound());
+        self.query.select.clone_from(&query.select);
         for b in &query.from {
-            db.query.from.push(b.clone());
-            db.register_binding_terms(db.query.from.len() - 1);
+            self.query.from.push(b.clone());
+            self.register_binding_terms(self.query.from.len() - 1);
         }
         for eq in &query.where_ {
-            db.assert_equality(eq);
+            self.assert_equality(eq);
         }
         for (_, p) in &query.select {
-            db.cong.intern_path(p);
+            self.cong.intern_path(p);
         }
-        db
     }
 
     fn register_binding_terms(&mut self, idx: usize) {
@@ -76,7 +123,18 @@ impl CanonDb {
 
     /// True if `lhs = rhs` is implied by the where-clause (plus congruence).
     /// Probe terms are interned in scratch mode so they are not offered as
-    /// rewrite targets later.
+    /// rewrite targets while they live.
+    ///
+    /// Under a savepoint (every backchase induction and candidate check),
+    /// probe terms are part of the trailed delta and vanish at rollback —
+    /// that is how homomorphism probes "roll back" in this codebase. The
+    /// scratch flag is *not* redundant with the savepoint, though: within
+    /// one delta, live probes must still be filtered out of
+    /// `class_paths_over`/`rewrite_over`, and rolling each probe back
+    /// individually instead would be unsound for byte-compatibility —
+    /// probes can trigger real congruence merges (e.g. a probe `base.f`
+    /// whose class holds a struct member derives a real equality), and
+    /// later answers within the same delta legitimately depend on them.
     pub fn implied(&mut self, lhs: &PathExpr, rhs: &PathExpr) -> bool {
         self.cong.set_scratch_mode(true);
         let l = self.cong.intern_path(lhs);
@@ -106,7 +164,12 @@ impl CanonDb {
 
 /// Substitutes constraint variables through a mapping, leaving unmapped
 /// variables untouched (they must not occur for the result to be meaningful).
-pub fn substitute(p: &PathExpr, map: &std::collections::HashMap<Var, Var>) -> PathExpr {
+/// Generic over the map's hasher so both plain and [`crate::fxhash`] maps
+/// (e.g. [`crate::homomorphism::HomMap`]) work.
+pub fn substitute<S: std::hash::BuildHasher>(
+    p: &PathExpr,
+    map: &std::collections::HashMap<Var, Var, S>,
+) -> PathExpr {
     p.map_vars(&mut |v| match map.get(&v) {
         Some(&w) => PathExpr::Var(w),
         None => PathExpr::Var(v),
@@ -134,7 +197,7 @@ mod tests {
         let q = example_query();
         let r = q.from[0].var;
         let s = q.from[1].var;
-        let mut db = CanonDb::new(q);
+        let mut db = CanonDb::new(&q);
         assert!(db.implied(&PathExpr::from(r).dot("A"), &PathExpr::from(s).dot("A")));
         assert!(db.implied(&PathExpr::from(s).dot("B"), &PathExpr::from(3i64)));
         assert!(!db.implied(&PathExpr::from(r).dot("B"), &PathExpr::from(s).dot("B")));
@@ -147,7 +210,7 @@ mod tests {
         let r = q.bind("r", Range::Name(sym("R")));
         let s = q.bind("s", Range::Name(sym("R")));
         q.equate(PathExpr::from(r), PathExpr::from(s));
-        let mut db = CanonDb::new(q);
+        let mut db = CanonDb::new(&q);
         assert!(db.implied(&PathExpr::from(r).dot("A"), &PathExpr::from(s).dot("A")));
     }
 
@@ -158,14 +221,14 @@ mod tests {
         let s = q.bind("s", Range::Name(sym("S")));
         q.equate(PathExpr::from(r).dot("B"), PathExpr::from(7i64));
         q.equate(PathExpr::from(s).dot("C"), PathExpr::from(7i64));
-        let mut db = CanonDb::new(q);
+        let mut db = CanonDb::new(&q);
         assert!(db.implied(&PathExpr::from(r).dot("B"), &PathExpr::from(s).dot("C")));
     }
 
     #[test]
     fn add_binding_and_assert() {
         let q = example_query();
-        let mut db = CanonDb::new(q);
+        let mut db = CanonDb::new(&q);
         let v = db.add_binding("v", Range::Name(sym("V")));
         let r = db.query.from[0].var;
         db.assert_equality(&Equality::new(
@@ -190,7 +253,7 @@ mod tests {
     #[test]
     fn probe_terms_are_scratch() {
         let q = example_query();
-        let mut db = CanonDb::new(q);
+        let mut db = CanonDb::new(&q);
         let t = db.probe_term(&PathExpr::from(Var(0)).dot("Z"));
         assert!(db.cong.is_scratch(t));
         let real = db.var_term(Var(0));

@@ -12,11 +12,10 @@
 //! with a universal plan polynomial in the query and constraint sizes; the
 //! step/round caps below are a defensive guard, not an expected exit.
 
-use std::collections::HashSet;
-
 use cnb_ir::prelude::{Constraint, PathExpr, Var};
 
 use crate::canon::{substitute, CanonDb};
+use crate::fxhash::FxHashSet;
 use crate::homomorphism::{find_homs, hom_exists, HomConfig, HomMap};
 
 /// Chase limits.
@@ -57,7 +56,7 @@ pub fn chase(db: &mut CanonDb, constraints: &[Constraint], cfg: ChaseConfig) -> 
     let mut stats = ChaseStats::default();
     // (constraint index, ordered image of universal vars) pairs already
     // processed — the paper's "ruling out homomorphisms previously used".
-    let mut applied: HashSet<(usize, Vec<Var>)> = HashSet::new();
+    let mut applied: FxHashSet<(usize, Vec<Var>)> = FxHashSet::default();
 
     for _round in 0..cfg.max_rounds {
         stats.rounds += 1;
@@ -67,7 +66,7 @@ pub fn chase(db: &mut CanonDb, constraints: &[Constraint], cfg: ChaseConfig) -> 
                 db,
                 &c.universal,
                 &c.premise,
-                &HomMap::new(),
+                &HomMap::default(),
                 HomConfig::default(),
             );
             stats.homs_found += homs.len();
@@ -123,7 +122,7 @@ pub fn chase_query(
     constraints: &[Constraint],
     cfg: ChaseConfig,
 ) -> (CanonDb, ChaseStats) {
-    let mut db = CanonDb::new(q.clone());
+    let mut db = CanonDb::new(q);
     let stats = chase(&mut db, constraints, cfg);
     (db, stats)
 }

@@ -15,12 +15,27 @@
 //!   then `x ≡ y` (records are equal iff their fields are), which is what
 //!   lets a composite-index key `k = struct(A=r.A, B=b, C=c)` propagate
 //!   equalities onto its components.
-
-use std::collections::HashMap;
+//!
+//! # Savepoints
+//!
+//! The backchase probes thousands of restrictions of one closure; rebuilding
+//! (or cloning) the structure per probe dominated its profile. Instead the
+//! closure keeps an *undo trail*: while a [`Savepoint`] is active, every
+//! mutation — arena pushes, intern/signature insertions, union-find parent
+//! writes (path compression included), member/use-list splices, scratch
+//! promotions — records its inverse, and [`Congruence::rollback`] replays the
+//! inverses in reverse, restoring the structure **byte-exactly** in O(delta)
+//! instead of O(db). Byte-exactness (not just logical equivalence) is what
+//! lets the savepoint path replace the old clone-per-candidate path without
+//! perturbing term-id tie-breaks, and with them plan text and order.
+//! Savepoints nest; rolling back an outer savepoint discards inner ones.
+//! With no savepoint active the trail is off and mutations cost nothing
+//! extra.
 
 use cnb_ir::prelude::{PathExpr, Symbol, Value, Var};
 
 use crate::bitset::VarSet;
+use crate::fxhash::FxHashMap;
 
 /// Handle to a hash-consed term.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -56,12 +71,56 @@ enum Sig {
     Struct(Vec<(Symbol, TermId)>),
 }
 
+/// One logged mutation; [`Congruence::rollback`] applies the inverses in
+/// reverse trail order. Each variant is the *complete* undo information for
+/// its mutation given that every later mutation has already been undone.
+#[derive(Clone, Debug)]
+enum TrailOp {
+    /// A term was appended to the arena (and to `intern`, `var_terms`, and
+    /// every per-term column). Undo pops all of them.
+    NewTerm,
+    /// A union-find parent pointer was overwritten (union or compression).
+    Parent { t: TermId, old: TermId },
+    /// `uses[rep]` grew by one entry (child registration of a new term).
+    UsePush { rep: TermId },
+    /// `sigs` gained this key (signatures are inserted only when absent,
+    /// never overwritten, so removal is the exact inverse).
+    SigInsert { sig: Sig },
+    /// A union spliced `members[small]`/`uses[small]` onto the big rep's
+    /// lists; the recorded lengths let undo split the tails back off.
+    UnionLists {
+        big: TermId,
+        small: TermId,
+        members_kept: usize,
+        uses_kept: usize,
+    },
+    /// A scratch term was promoted to real (`true` → `false`).
+    ScratchClear { t: TermId },
+}
+
+/// A mark in the mutation trail; see [`Congruence::save`]. Deliberately not
+/// `Clone`/`Copy`: [`Congruence::rollback`] consumes the savepoint, so
+/// rolling the same point back twice — which would silently unwind a later
+/// savepoint's work — is a compile error instead of a runtime hazard.
+#[derive(Debug)]
+pub struct Savepoint {
+    trail_len: usize,
+    depth: usize,
+    len: usize,
+    /// Unique id checked against the closure's live-savepoint stack, so a
+    /// savepoint discarded by an outer rollback (or `clear`) panics on use
+    /// instead of unwinding to a meaningless trail offset.
+    token: u64,
+    scratch_mode: bool,
+    inconsistent: bool,
+}
+
 /// Union-find with congruence over the term arena.
 #[derive(Clone, Default)]
 pub struct Congruence {
     nodes: Vec<TermNode>,
     /// Hash-consing of exact nodes.
-    intern: HashMap<TermNode, TermId>,
+    intern: FxHashMap<TermNode, TermId>,
     /// Union-find parent pointers.
     parent: Vec<TermId>,
     /// Class member lists (only reps have non-empty lists).
@@ -69,7 +128,7 @@ pub struct Congruence {
     /// Parent terms that have a child in this class (only reps maintained).
     uses: Vec<Vec<TermId>>,
     /// Canonical-signature table for congruence detection.
-    sigs: HashMap<Sig, TermId>,
+    sigs: FxHashMap<Sig, TermId>,
     /// Variable support of each term (all vars occurring in it).
     support: Vec<VarSet>,
     /// Whether the term was created during scratch reasoning (homomorphism
@@ -82,7 +141,29 @@ pub struct Congruence {
     /// Pending congruence merges.
     worklist: Vec<(TermId, TermId)>,
     /// Term lookup for variables (vars are the most common roots).
-    var_terms: HashMap<Var, TermId>,
+    var_terms: FxHashMap<Var, TermId>,
+    /// Undo trail, recorded only while a savepoint is active.
+    trail: Vec<TrailOp>,
+    /// Number of active savepoints (0 = trail off).
+    save_depth: usize,
+    /// Tokens of the live savepoints, innermost last (len == `save_depth`).
+    live_saves: Vec<u64>,
+}
+
+/// Savepoint tokens come from one process-global counter (never 0), so a
+/// savepoint from another `Congruence` instance can never match a token on
+/// this instance's live stack — "foreign" detection is genuinely
+/// instance-scoped, not just depth-scoped.
+fn fresh_save_token() -> u64 {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+    NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+/// True when `CNB_TRAIL_CHECK` requests the (expensive) full consistency
+/// audit after every rollback — the debug-assert tier of `scripts/check.sh`.
+fn trail_check_enabled() -> bool {
+    static ON: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ON.get_or_init(|| std::env::var_os("CNB_TRAIL_CHECK").is_some_and(|v| v != "0"))
 }
 
 impl Congruence {
@@ -112,6 +193,179 @@ impl Congruence {
         self.nodes.is_empty()
     }
 
+    /// True while a savepoint is active (mutations are being trailed).
+    #[inline]
+    fn trailing(&self) -> bool {
+        self.save_depth != 0
+    }
+
+    /// True while a savepoint is active. Cloning a closure mid-savepoint is
+    /// a caller bug — the clone would share live tokens with the original,
+    /// letting one instance's savepoint roll back the other.
+    pub fn in_savepoint(&self) -> bool {
+        self.save_depth != 0
+    }
+
+    /// Opens a savepoint: every subsequent mutation is recorded on the undo
+    /// trail until [`Congruence::rollback`] restores this point. Savepoints
+    /// nest. Must not be called with congruence propagation in flight.
+    pub fn save(&mut self) -> Savepoint {
+        debug_assert!(self.worklist.is_empty(), "save during propagation");
+        self.save_depth += 1;
+        let token = fresh_save_token();
+        self.live_saves.push(token);
+        Savepoint {
+            trail_len: self.trail.len(),
+            depth: self.save_depth,
+            len: self.nodes.len(),
+            token,
+            scratch_mode: self.scratch_mode,
+            inconsistent: self.inconsistent,
+        }
+    }
+
+    /// Rolls the closure back to `sp`, undoing every mutation since —
+    /// O(delta), byte-exact (see the module docs). Inner savepoints opened
+    /// after `sp` are discarded; `sp` itself is consumed.
+    pub fn rollback(&mut self, sp: Savepoint) {
+        assert!(
+            sp.depth >= 1
+                && self.live_saves.get(sp.depth - 1) == Some(&sp.token)
+                && sp.trail_len <= self.trail.len(),
+            "rollback of a stale or foreign savepoint"
+        );
+        debug_assert!(self.worklist.is_empty(), "rollback during propagation");
+        self.live_saves.truncate(sp.depth - 1);
+        while self.trail.len() > sp.trail_len {
+            let op = self.trail.pop().expect("trail length checked");
+            self.undo(op);
+        }
+        self.save_depth = sp.depth - 1;
+        self.scratch_mode = sp.scratch_mode;
+        self.inconsistent = sp.inconsistent;
+        debug_assert_eq!(
+            self.nodes.len(),
+            sp.len,
+            "rollback did not restore the arena"
+        );
+        if trail_check_enabled() {
+            self.assert_consistent("rollback");
+        }
+    }
+
+    fn undo(&mut self, op: TrailOp) {
+        match op {
+            TrailOp::NewTerm => {
+                let node = self.nodes.pop().expect("trail out of sync with arena");
+                self.intern.remove(&node);
+                if let TermNode::Var(v) = node {
+                    self.var_terms.remove(&v);
+                }
+                self.parent.pop();
+                self.members.pop();
+                self.uses.pop();
+                self.support.pop();
+                self.scratch.pop();
+            }
+            TrailOp::Parent { t, old } => self.parent[t.idx()] = old,
+            TrailOp::UsePush { rep } => {
+                self.uses[rep.idx()].pop();
+            }
+            TrailOp::SigInsert { sig } => {
+                self.sigs.remove(&sig);
+            }
+            TrailOp::UnionLists {
+                big,
+                small,
+                members_kept,
+                uses_kept,
+            } => {
+                let tail = self.members[big.idx()].split_off(members_kept);
+                self.members[small.idx()] = tail;
+                let tail = self.uses[big.idx()].split_off(uses_kept);
+                self.uses[small.idx()] = tail;
+            }
+            TrailOp::ScratchClear { t } => self.scratch[t.idx()] = true,
+        }
+    }
+
+    /// Resets to the empty closure, keeping the arena and table allocations —
+    /// how the equivalence checker's scratch database is recycled between
+    /// candidates. Must not be called under an active savepoint.
+    pub fn clear(&mut self) {
+        debug_assert!(self.worklist.is_empty(), "clear during propagation");
+        debug_assert_eq!(self.save_depth, 0, "clear under an active savepoint");
+        // In release builds a clear under an active savepoint must still
+        // leave a total state: zero the depth so the trail does not keep
+        // recording forever, and drop the live tokens so any outstanding
+        // savepoint fails its rollback check loudly instead of scrambling
+        // the recycled closure.
+        self.save_depth = 0;
+        self.live_saves.clear();
+        self.nodes.clear();
+        self.intern.clear();
+        self.parent.clear();
+        self.members.clear();
+        self.uses.clear();
+        self.sigs.clear();
+        self.support.clear();
+        self.scratch.clear();
+        self.scratch_mode = false;
+        self.inconsistent = false;
+        self.worklist.clear();
+        self.var_terms.clear();
+        self.trail.clear();
+    }
+
+    /// Full structural audit used by the `CNB_TRAIL_CHECK` tier: hash-consing
+    /// bijective, per-term columns aligned, member lists a partition of the
+    /// arena agreeing with the union-find.
+    fn assert_consistent(&self, when: &str) {
+        let n = self.nodes.len();
+        assert!(
+            self.parent.len() == n
+                && self.members.len() == n
+                && self.uses.len() == n
+                && self.support.len() == n
+                && self.scratch.len() == n,
+            "{when}: per-term columns out of step with the arena"
+        );
+        assert_eq!(self.intern.len(), n, "{when}: intern table not bijective");
+        let mut seen = 0usize;
+        for i in 0..n {
+            let t = TermId(i as u32);
+            assert_eq!(
+                self.intern.get(&self.nodes[i]),
+                Some(&t),
+                "{when}: node {i} not interned at its own id"
+            );
+            if let TermNode::Var(v) = &self.nodes[i] {
+                assert_eq!(
+                    self.var_terms.get(v),
+                    Some(&t),
+                    "{when}: var_terms out of sync at {i}"
+                );
+            }
+            let rep = self.find_ref(t);
+            if rep == t {
+                for &m in &self.members[i] {
+                    assert_eq!(
+                        self.find_ref(m),
+                        rep,
+                        "{when}: member list of {i} holds a foreign term"
+                    );
+                }
+                seen += self.members[i].len();
+            } else {
+                assert!(
+                    self.members[i].is_empty(),
+                    "{when}: non-rep {i} kept a member list"
+                );
+            }
+        }
+        assert_eq!(seen, n, "{when}: member lists are not a partition");
+    }
+
     /// Interns a node, returning its term id (allocating if new and merging
     /// with any congruent existing term).
     pub fn term(&mut self, node: TermNode) -> TermId {
@@ -120,14 +374,14 @@ impl Congruence {
                 // Promote: a term re-interned outside scratch mode is real,
                 // even if a scratch probe created it first.
                 if !self.scratch_mode {
-                    self.scratch[t.idx()] = false;
+                    self.promote(t);
                 }
                 return t;
             }
         }
         if let Some(&t) = self.intern.get(&node) {
             if !self.scratch_mode {
-                self.scratch[t.idx()] = false;
+                self.promote(t);
             }
             return t;
         }
@@ -157,20 +411,23 @@ impl Congruence {
         if let TermNode::Var(v) = node {
             self.var_terms.insert(v, id);
         }
+        if self.trailing() {
+            self.trail.push(TrailOp::NewTerm);
+        }
         // Register in children's use lists and check congruence.
         match &node {
             TermNode::Field(base, _) => {
                 let r = self.find(*base);
-                self.uses[r.idx()].push(id);
+                self.use_push(r, id);
             }
             TermNode::Lookup(_, key) => {
                 let r = self.find(*key);
-                self.uses[r.idx()].push(id);
+                self.use_push(r, id);
             }
             TermNode::Struct(fields) => {
                 for (_, t) in fields.clone() {
                     let r = self.find(t);
-                    self.uses[r.idx()].push(id);
+                    self.use_push(r, id);
                 }
             }
             _ => {}
@@ -179,7 +436,7 @@ impl Congruence {
             if let Some(&other) = self.sigs.get(&sig) {
                 self.worklist.push((id, other));
             } else {
-                self.sigs.insert(sig, id);
+                self.sig_insert(sig, id);
             }
         }
         // Projection over constructor: a fresh `base.f` term where `base`'s
@@ -222,17 +479,54 @@ impl Congruence {
         }
     }
 
+    /// Promotes a scratch term to real, trailing the flip.
+    fn promote(&mut self, t: TermId) {
+        if self.scratch[t.idx()] {
+            if self.trailing() {
+                self.trail.push(TrailOp::ScratchClear { t });
+            }
+            self.scratch[t.idx()] = false;
+        }
+    }
+
+    /// Appends to a rep's use list, trailing the push.
+    fn use_push(&mut self, rep: TermId, id: TermId) {
+        if self.trailing() {
+            self.trail.push(TrailOp::UsePush { rep });
+        }
+        self.uses[rep.idx()].push(id);
+    }
+
+    /// Inserts a (known-absent) signature, trailing the insertion.
+    fn sig_insert(&mut self, sig: Sig, id: TermId) {
+        if self.trailing() {
+            self.trail.push(TrailOp::SigInsert { sig: sig.clone() });
+        }
+        self.sigs.insert(sig, id);
+    }
+
+    /// Overwrites a union-find parent pointer, trailing the old value.
+    fn set_parent(&mut self, t: TermId, new: TermId) {
+        if self.trailing() {
+            let old = self.parent[t.idx()];
+            self.trail.push(TrailOp::Parent { t, old });
+        }
+        self.parent[t.idx()] = new;
+    }
+
     /// Canonical representative of `t`'s class (with path compression).
     pub fn find(&mut self, t: TermId) -> TermId {
         let mut root = t;
         while self.parent[root.idx()] != root {
             root = self.parent[root.idx()];
         }
-        // Path compression.
+        // Path compression (trailed like any parent write: compression does
+        // not change roots, but byte-exact rollback is what keeps savepoint
+        // runs indistinguishable from clone-based ones).
         let mut cur = t;
         while self.parent[cur.idx()] != root {
             let next = self.parent[cur.idx()];
-            self.parent[cur.idx()] = root;
+            self.set_parent(cur, root);
             cur = next;
         }
         root
@@ -276,7 +570,7 @@ impl Congruence {
         } else {
             (rb, ra)
         };
-        self.parent[small.idx()] = big;
+        self.set_parent(small, big);
 
         // Constant-conflict detection.
         let const_of = |this: &Congruence, rep: TermId| -> Option<Value> {
@@ -320,7 +614,16 @@ impl Congruence {
             }
         }
 
-        // Merge member and use lists.
+        // Merge member and use lists, trailing the splice point so rollback
+        // can split the tails back off onto the absorbed rep.
+        if self.trailing() {
+            self.trail.push(TrailOp::UnionLists {
+                big,
+                small,
+                members_kept: self.members[big.idx()].len(),
+                uses_kept: self.uses[big.idx()].len(),
+            });
+        }
         let small_members = std::mem::take(&mut self.members[small.idx()]);
         self.members[big.idx()].extend(small_members);
         let small_uses = std::mem::take(&mut self.uses[small.idx()]);
@@ -333,7 +636,7 @@ impl Congruence {
                         self.worklist.push((*p, other));
                     }
                 } else {
-                    self.sigs.insert(sig, *p);
+                    self.sig_insert(sig, *p);
                 }
             }
         }
@@ -532,7 +835,7 @@ impl Congruence {
         if self.support(r).is_subset(allowed) {
             // The rebuilt term is derived from non-scratch members: promote
             // it even if a scratch probe interned it first.
-            self.scratch[r.idx()] = false;
+            self.promote(r);
             Some(r)
         } else {
             None
@@ -797,6 +1100,183 @@ mod tests {
             c.rewrite_over(ra, &allowed).is_none(),
             "scratch member must not be offered as a rewrite"
         );
+    }
+
+    #[test]
+    fn savepoint_rolls_back_merges_and_terms() {
+        let mut c = Congruence::new();
+        let x = var(&mut c, 0);
+        let y = var(&mut c, 1);
+        let xa = c.term(TermNode::Field(x, sym("A")));
+        let sp = c.save();
+        let z = var(&mut c, 2);
+        c.merge(x, y);
+        c.merge(y, z);
+        assert!(c.equal(x, z));
+        c.rollback(sp);
+        assert_eq!(c.len(), 3, "term created under the savepoint removed");
+        assert!(!c.equal(x, y));
+        assert_eq!(c.class_members(x), vec![x]);
+        assert_eq!(c.class_members(y), vec![y]);
+        // Re-interning yields the same ids as before the rolled-back work.
+        assert_eq!(var(&mut c, 2), z);
+        assert_eq!(c.term(TermNode::Field(x, sym("A"))), xa);
+    }
+
+    #[test]
+    fn nested_savepoints_roll_back_independently() {
+        let mut c = Congruence::new();
+        let x = var(&mut c, 0);
+        let y = var(&mut c, 1);
+        let z = var(&mut c, 2);
+        let outer = c.save();
+        c.merge(x, y);
+        let inner = c.save();
+        c.merge(y, z);
+        assert!(c.equal(x, z));
+        c.rollback(inner);
+        assert!(c.equal(x, y));
+        assert!(!c.equal(x, z));
+        c.rollback(outer);
+        assert!(!c.equal(x, y));
+    }
+
+    #[test]
+    fn outer_rollback_discards_inner_savepoint() {
+        let mut c = Congruence::new();
+        let x = var(&mut c, 0);
+        let y = var(&mut c, 1);
+        let outer = c.save();
+        c.merge(x, y);
+        let _inner = c.save();
+        let z = var(&mut c, 2);
+        c.merge(x, z);
+        c.rollback(outer);
+        assert_eq!(c.len(), 2);
+        assert!(!c.equal(x, y));
+    }
+
+    #[test]
+    fn rollback_across_injectivity_cascade() {
+        // Rolling back a merge that cascaded through struct injectivity and
+        // upward congruence must unwind every derived equality too.
+        let mut c = Congruence::new();
+        let x = var(&mut c, 0);
+        let y = var(&mut c, 1);
+        let sx = c.term(TermNode::Struct(vec![(sym("A"), x)]));
+        let sy = c.term(TermNode::Struct(vec![(sym("A"), y)]));
+        let fx = c.term(TermNode::Field(x, sym("B")));
+        let fy = c.term(TermNode::Field(y, sym("B")));
+        let sp = c.save();
+        c.merge(sx, sy);
+        assert!(c.equal(x, y), "injectivity cascade");
+        assert!(c.equal(fx, fy), "upward congruence from the cascade");
+        c.rollback(sp);
+        assert!(!c.equal(sx, sy));
+        assert!(!c.equal(x, y));
+        assert!(!c.equal(fx, fy));
+        // The closure still works normally after the rollback.
+        c.merge(x, y);
+        assert!(c.equal(sx, sy));
+        assert!(c.equal(fx, fy));
+    }
+
+    #[test]
+    #[should_panic(expected = "stale or foreign savepoint")]
+    fn discarded_inner_savepoint_cannot_roll_back_a_new_epoch() {
+        // sp2 is discarded by the outer rollback; even after new savepoints
+        // bring the depth and trail length back into plausible ranges, using
+        // sp2 must panic rather than unwind the new epoch's work.
+        let mut c = Congruence::new();
+        let x = var(&mut c, 0);
+        let y = var(&mut c, 1);
+        let sp1 = c.save();
+        c.merge(x, y);
+        let sp2 = c.save();
+        c.rollback(sp1);
+        let _a = c.save();
+        for i in 2..10 {
+            var(&mut c, i);
+        }
+        let _b = c.save();
+        c.rollback(sp2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale or foreign savepoint")]
+    fn foreign_savepoint_is_rejected() {
+        // Tokens are process-global, so another instance's savepoint can
+        // never match this instance's live stack even at the same depth.
+        let mut c1 = Congruence::new();
+        let mut c2 = Congruence::new();
+        let sp1 = c1.save();
+        let _sp2 = c2.save();
+        c2.rollback(sp1);
+    }
+
+    #[test]
+    fn outer_savepoint_survives_inner_rollback() {
+        let mut c = Congruence::new();
+        let x = var(&mut c, 0);
+        let y = var(&mut c, 1);
+        let z = var(&mut c, 2);
+        let sp1 = c.save();
+        c.merge(x, y);
+        let sp2 = c.save();
+        let _sp3 = c.save();
+        c.merge(y, z);
+        // Rolling back the middle savepoint discards _sp3 but leaves sp1
+        // usable.
+        c.rollback(sp2);
+        assert!(c.equal(x, y));
+        assert!(!c.equal(x, z));
+        c.rollback(sp1);
+        assert!(!c.equal(x, y));
+    }
+
+    #[test]
+    fn rollback_restores_inconsistency_flag() {
+        let mut c = Congruence::new();
+        let a = c.term(TermNode::Const(Value::Int(1)));
+        let b = c.term(TermNode::Const(Value::Int(2)));
+        let sp = c.save();
+        c.merge(a, b);
+        assert!(c.is_inconsistent());
+        c.rollback(sp);
+        assert!(!c.is_inconsistent());
+    }
+
+    #[test]
+    fn rollback_restores_scratch_flags_and_mode() {
+        let mut c = Congruence::new();
+        c.set_scratch_mode(true);
+        let probe = c.intern_path(&PathExpr::from(Var(0)).dot("A"));
+        c.set_scratch_mode(false);
+        assert!(c.is_scratch(probe));
+        let sp = c.save();
+        // Promotion under the savepoint...
+        let again = c.intern_path(&PathExpr::from(Var(0)).dot("A"));
+        assert_eq!(again, probe);
+        assert!(!c.is_scratch(probe));
+        c.set_scratch_mode(true);
+        c.rollback(sp);
+        // ...is undone, and the mode snapshot restored.
+        assert!(c.is_scratch(probe), "promotion must roll back");
+        let t = c.intern_path(&PathExpr::from(Var(9)));
+        assert!(!c.is_scratch(t), "scratch mode restored to off");
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_working() {
+        let mut c = Congruence::new();
+        let x = var(&mut c, 0);
+        let y = var(&mut c, 1);
+        c.merge(x, y);
+        c.clear();
+        assert!(c.is_empty());
+        let x2 = var(&mut c, 0);
+        assert_eq!(x2, x, "ids restart from zero after clear");
+        assert_eq!(c.class_members(x2), vec![x2]);
     }
 
     #[test]

@@ -10,12 +10,11 @@
 //! Appendix A) is implied by `D` — "using the chase … when constraints are
 //! viewed as boolean-valued queries".
 
-use std::collections::HashMap;
-
 use cnb_ir::prelude::{Constraint, PathExpr, Query, Symbol};
 
 use crate::canon::{substitute, CanonDb};
 use crate::chase::{chase, ChaseConfig, ChaseStats};
+use crate::fxhash::FxHashMap;
 use crate::homomorphism::{find_homs, HomConfig, HomMap};
 
 /// Checks subquery equivalence against a fixed original query.
@@ -49,20 +48,39 @@ impl<'a> EquivChecker<'a> {
 
     /// Is `candidate` (a subquery of the universal plan of `q0`, sharing its
     /// variable space) equivalent to `q0` under the constraints?
+    ///
+    /// Convenience wrapper over [`EquivChecker::equivalent_into`] paying for
+    /// a fresh scratch database; the backchase hot loop passes a recycled
+    /// per-worker scratch instead.
     pub fn equivalent(&self, candidate: &Query) -> (bool, EquivStats) {
+        self.equivalent_into(&mut CanonDb::empty(), candidate)
+    }
+
+    /// [`EquivChecker::equivalent`] into a caller-provided scratch database.
+    ///
+    /// `scratch` is rebuilt from `candidate` in place ([`CanonDb::reset_to`])
+    /// and then chased — so across thousands of candidates one worker reuses
+    /// a single arena and set of hash tables instead of allocating and
+    /// dropping a database per check. The chased structure is a *template*
+    /// keyed by nothing: a candidate's chase must start from its own closure,
+    /// not a parent candidate's fixpoint, because the chase is not monotone
+    /// under binding removal — facts derived from a removed binding are not
+    /// facts of the subquery, and reusing them would flip verdicts. What CAN
+    /// be reused, and is, is the warm allocation footprint.
+    pub fn equivalent_into(&self, scratch: &mut CanonDb, candidate: &Query) -> (bool, EquivStats) {
         let mut stats = EquivStats::default();
-        let mut db = CanonDb::new(candidate.clone());
-        stats.chase = chase(&mut db, self.constraints, self.chase_cfg);
+        scratch.reset_to(candidate);
+        stats.chase = chase(scratch, self.constraints, self.chase_cfg);
 
         // Select paths of the candidate, by label, for output preservation.
-        let outputs: HashMap<Symbol, &PathExpr> =
+        let outputs: FxHashMap<Symbol, &PathExpr> =
             candidate.select.iter().map(|(l, p)| (*l, p)).collect();
 
         let (homs, _) = find_homs(
-            &mut db,
+            scratch,
             &self.q0.from,
             &self.q0.where_,
-            &HomMap::new(),
+            &HomMap::default(),
             HomConfig::default(),
         );
         for h in homs {
@@ -72,7 +90,7 @@ impl<'a> EquivChecker<'a> {
                     return false;
                 };
                 let hp = substitute(p, &h);
-                db.implied(&hp, target)
+                scratch.implied(&hp, target)
             });
             if ok {
                 return (true, stats);

@@ -35,7 +35,7 @@ pub struct Fragment {
 /// fragment. Bindings connected through range dependencies (`o in M[k].N`)
 /// are always kept together.
 pub fn decompose(q: &Query, skeletons: &[Skeleton]) -> Vec<Fragment> {
-    let mut db = CanonDb::new(q.clone());
+    let mut db = CanonDb::new(q);
     let n = q.from.len();
     let position: HashMap<_, _> = q.from.iter().enumerate().map(|(i, b)| (b.var, i)).collect();
 
@@ -71,7 +71,7 @@ pub fn decompose(q: &Query, skeletons: &[Skeleton]) -> Vec<Fragment> {
             &mut db,
             &sk.forward.universal,
             &sk.forward.premise,
-            &HomMap::new(),
+            &HomMap::default(),
             HomConfig::default(),
         );
         for h in homs {

@@ -15,14 +15,17 @@
 //! partial assignment is abandoned as soon as any condition among its
 //! already-assigned variables fails.
 
-use std::collections::HashMap;
-
 use cnb_ir::prelude::{Binding, Equality, Range, Var};
 
 use crate::canon::{substitute, CanonDb};
+use crate::fxhash::FxHashMap;
 
-/// A variable mapping from a source body into a target query.
-pub type HomMap = HashMap<Var, Var>;
+/// A variable mapping from a source body into a target query. Keyed with the
+/// deterministic [`crate::fxhash`] hasher: these maps are built and probed on
+/// every chase step and equivalence check, and are never iterated (only
+/// `get`/`insert`), so hash order cannot leak into results. Construct empty
+/// maps with `HomMap::default()`.
+pub type HomMap = FxHashMap<Var, Var>;
 
 /// Search configuration.
 #[derive(Clone, Copy, Debug)]
@@ -68,7 +71,7 @@ pub fn find_homs(
     let mut results = Vec::new();
 
     // Position of each source variable in the binding order.
-    let mut pos: HashMap<Var, usize> = HashMap::new();
+    let mut pos: FxHashMap<Var, usize> = FxHashMap::default();
     for (i, b) in bindings.iter().enumerate() {
         pos.insert(b.var, i);
     }
@@ -299,7 +302,7 @@ mod tests {
         let r = q.bind("r", Range::Name(sym("R")));
         let s = q.bind("s", Range::Name(sym("S")));
         q.equate(PathExpr::from(r).dot("A"), PathExpr::from(s).dot("A"));
-        CanonDb::new(q)
+        CanonDb::new(&q)
     }
 
     /// Source body: (x in R) with condition x.A = x.A (trivial).
@@ -312,7 +315,7 @@ mod tests {
             &mut db,
             &src.from,
             &[],
-            &HomMap::new(),
+            &HomMap::default(),
             HomConfig::default(),
         );
         assert_eq!(homs.len(), 1);
@@ -328,7 +331,7 @@ mod tests {
             &mut db,
             &src.from,
             &[],
-            &HomMap::new(),
+            &HomMap::default(),
             HomConfig::default(),
         );
         assert!(homs.is_empty());
@@ -341,7 +344,7 @@ mod tests {
         let r1 = q.bind("r1", Range::Name(sym("R")));
         let _r2 = q.bind("r2", Range::Name(sym("R")));
         q.equate(PathExpr::from(r1).dot("B"), PathExpr::from(3i64));
-        let mut db = CanonDb::new(q);
+        let mut db = CanonDb::new(&q);
 
         let mut src = Query::new();
         let x = src.bind("x", Range::Name(sym("R")));
@@ -353,7 +356,7 @@ mod tests {
             &mut db,
             &src.from,
             &conds,
-            &HomMap::new(),
+            &HomMap::default(),
             HomConfig::default(),
         );
         assert_eq!(homs.len(), 1);
@@ -377,7 +380,7 @@ mod tests {
             &mut db,
             &src.from,
             &conds,
-            &HomMap::new(),
+            &HomMap::default(),
             HomConfig::default(),
         );
         assert_eq!(homs.len(), 1);
@@ -390,14 +393,14 @@ mod tests {
         let mut q = Query::new();
         q.bind("r1", Range::Name(sym("R")));
         q.bind("r2", Range::Name(sym("R")));
-        let mut db = CanonDb::new(q);
+        let mut db = CanonDb::new(&q);
         let mut src = Query::new();
         src.bind("x", Range::Name(sym("R")));
         let (homs, _) = find_homs(
             &mut db,
             &src.from,
             &[],
-            &HomMap::new(),
+            &HomMap::default(),
             HomConfig::default(),
         );
         assert_eq!(homs.len(), 2);
@@ -407,7 +410,7 @@ mod tests {
     fn non_injective_by_default_injective_on_request() {
         let mut q = Query::new();
         q.bind("r", Range::Name(sym("R")));
-        let mut db = CanonDb::new(q);
+        let mut db = CanonDb::new(&q);
         // Source has two R-bindings; the only target R-binding must host both
         // unless injectivity is requested.
         let mut src = Query::new();
@@ -417,7 +420,7 @@ mod tests {
             &mut db,
             &src.from,
             &[],
-            &HomMap::new(),
+            &HomMap::default(),
             HomConfig::default(),
         );
         assert_eq!(homs.len(), 1);
@@ -425,7 +428,7 @@ mod tests {
             &mut db,
             &src.from,
             &[],
-            &HomMap::new(),
+            &HomMap::default(),
             HomConfig {
                 injective: true,
                 max_homs: usize::MAX,
@@ -439,10 +442,10 @@ mod tests {
         let mut q = Query::new();
         let r1 = q.bind("r1", Range::Name(sym("R")));
         let r2 = q.bind("r2", Range::Name(sym("R")));
-        let mut db = CanonDb::new(q);
+        let mut db = CanonDb::new(&q);
         let mut src = Query::new();
         let x = src.bind("x", Range::Name(sym("R")));
-        let mut fixed = HomMap::new();
+        let mut fixed = HomMap::default();
         fixed.insert(x, r2);
         let (homs, _) = find_homs(&mut db, &src.from, &[], &fixed, HomConfig::default());
         assert_eq!(homs.len(), 1);
@@ -456,7 +459,7 @@ mod tests {
         let mut q = Query::new();
         let k = q.bind("k", Range::Dom(sym("M")));
         let _o = q.bind("o", Range::Expr(PathExpr::from(k).lookup_in("M").dot("N")));
-        let mut db = CanonDb::new(q);
+        let mut db = CanonDb::new(&q);
         let mut src = Query::new();
         let k2 = src.bind("k2", Range::Dom(sym("M")));
         let o2 = src.bind(
@@ -467,7 +470,7 @@ mod tests {
             &mut db,
             &src.from,
             &[],
-            &HomMap::new(),
+            &HomMap::default(),
             HomConfig::default(),
         );
         assert_eq!(homs.len(), 1);
@@ -480,7 +483,7 @@ mod tests {
         let mut q = Query::new();
         let k = q.bind("k", Range::Dom(sym("M")));
         q.bind("o", Range::Expr(PathExpr::from(k).lookup_in("M").dot("N")));
-        let mut db = CanonDb::new(q);
+        let mut db = CanonDb::new(&q);
         let mut src = Query::new();
         let k2 = src.bind("k2", Range::Dom(sym("M")));
         src.bind(
@@ -491,7 +494,7 @@ mod tests {
             &mut db,
             &src.from,
             &[],
-            &HomMap::new(),
+            &HomMap::default(),
             HomConfig::default(),
         );
         assert!(homs.is_empty());
@@ -503,14 +506,14 @@ mod tests {
         for i in 0..4 {
             q.bind(&format!("r{i}"), Range::Name(sym("R")));
         }
-        let mut db = CanonDb::new(q);
+        let mut db = CanonDb::new(&q);
         let mut src = Query::new();
         src.bind("x", Range::Name(sym("R")));
         let (homs, _) = find_homs(
             &mut db,
             &src.from,
             &[],
-            &HomMap::new(),
+            &HomMap::default(),
             HomConfig {
                 max_homs: 2,
                 injective: false,
@@ -524,9 +527,9 @@ mod tests {
         let mut db = target();
         let mut src = Query::new();
         src.bind("x", Range::Name(sym("S")));
-        assert!(hom_exists(&mut db, &src.from, &[], &HomMap::new()));
+        assert!(hom_exists(&mut db, &src.from, &[], &HomMap::default()));
         let mut src2 = Query::new();
         src2.bind("x", Range::Name(sym("Z")));
-        assert!(!hom_exists(&mut db, &src2.from, &[], &HomMap::new()));
+        assert!(!hom_exists(&mut db, &src2.from, &[], &HomMap::default()));
     }
 }

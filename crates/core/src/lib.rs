@@ -26,6 +26,7 @@ pub mod congruence;
 pub mod cost;
 pub mod equivalence;
 pub mod fragments;
+pub mod fxhash;
 pub mod homomorphism;
 pub mod optimizer;
 pub mod parallel;
@@ -41,13 +42,14 @@ pub mod prelude {
     pub use crate::bottomup::bottom_up_backchase;
     pub use crate::canon::CanonDb;
     pub use crate::chase::{chase, chase_query, ChaseConfig, ChaseStats};
-    pub use crate::congruence::{Congruence, TermId, TermNode};
+    pub use crate::congruence::{Congruence, Savepoint, TermId, TermNode};
     pub use crate::cost::CostModel;
     pub use crate::equivalence::{same_plan, EquivChecker};
     pub use crate::fragments::{decompose, Fragment};
+    pub use crate::fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
     pub use crate::homomorphism::{find_homs, hom_exists, HomConfig, HomMap};
     pub use crate::optimizer::{OptimizeResult, Optimizer, OptimizerConfig, PlanInfo, Strategy};
-    pub use crate::parallel::{map_chunked, resolve_threads, WorkQueue};
+    pub use crate::parallel::{map_chunked, map_chunked_with, resolve_threads, WorkQueue};
     pub use crate::strata::{regroup, stratify};
     pub use crate::subquery::{all_bindings, induce_subquery, induce_subquery_pure};
 }

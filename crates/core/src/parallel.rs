@@ -94,8 +94,11 @@ impl WorkQueue {
 /// callers can therefore distinguish "computed false" from "never ran".
 ///
 /// With `threads <= 1` (or a single item) everything runs inline on the
-/// caller's thread — no spawn, same results, same order.
-pub fn map_chunked<S, T: Send>(
+/// caller's thread — no spawn, same results, same order. When the same
+/// states should survive *across* calls (the backchase reuses per-worker
+/// databases through many waves), build them once and use
+/// [`map_chunked_with`] directly.
+pub fn map_chunked<S: Send, T: Send>(
     threads: usize,
     len: usize,
     chunk: usize,
@@ -103,16 +106,36 @@ pub fn map_chunked<S, T: Send>(
     eval: impl Fn(&mut S, usize) -> Option<T> + Sync,
 ) -> Vec<Option<T>> {
     let threads = threads.clamp(1, MAX_THREADS).min(len.max(1));
-    if threads == 1 {
-        let mut state = init();
+    let mut states: Vec<S> = (0..threads).map(|_| init()).collect();
+    map_chunked_with(&mut states, len, chunk, eval)
+}
+
+/// [`map_chunked`] over caller-owned worker states: `states.len()` is the
+/// worker count and slot `k` is lent to worker `k` for the duration of the
+/// call. Lets expensive per-worker state (a cloned canonical database, a
+/// scratch arena) be built once and reused across many calls, instead of
+/// rebuilt per call.
+///
+/// Same contract as [`map_chunked`] otherwise: results in index order,
+/// `None` slots for items never evaluated after a cooperative stop, inline
+/// execution on the caller's thread when only one worker (or item) exists.
+pub fn map_chunked_with<S: Send, T: Send>(
+    states: &mut [S],
+    len: usize,
+    chunk: usize,
+    eval: impl Fn(&mut S, usize) -> Option<T> + Sync,
+) -> Vec<Option<T>> {
+    assert!(
+        !states.is_empty(),
+        "map_chunked_with needs at least 1 state"
+    );
+    if states.len() == 1 || len <= 1 {
+        let state = &mut states[0];
         let mut out: Vec<Option<T>> = Vec::with_capacity(len);
         for i in 0..len {
-            match eval(&mut state, i) {
+            match eval(state, i) {
                 Some(v) => out.push(Some(v)),
-                None => {
-                    out.resize_with(len, || None);
-                    break;
-                }
+                None => break,
             }
         }
         out.resize_with(len, || None);
@@ -121,19 +144,22 @@ pub fn map_chunked<S, T: Send>(
 
     let queue = WorkQueue::new(len, chunk);
     let stop = AtomicBool::new(false);
-    let (queue, stop, init, eval) = (&queue, &stop, &init, &eval);
+    let (queue, stop, eval) = (&queue, &stop, &eval);
+    // Never spawn more workers than items: surplus states would claim
+    // nothing from the queue and the spawns are pure overhead.
+    let spawn = states.len().min(len);
     let collected: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
+        let handles: Vec<_> = states[..spawn]
+            .iter_mut()
+            .map(|state| {
                 scope.spawn(move || {
-                    let mut state = init();
                     let mut local: Vec<(usize, T)> = Vec::new();
                     'drain: while let Some(range) = queue.claim() {
                         for i in range {
                             if stop.load(Ordering::Relaxed) {
                                 break 'drain;
                             }
-                            match eval(&mut state, i) {
+                            match eval(state, i) {
                                 Some(v) => local.push((i, v)),
                                 None => {
                                     stop.store(true, Ordering::Relaxed);
@@ -222,6 +248,48 @@ mod tests {
                 assert_eq!(*v, i);
             }
         }
+    }
+
+    #[test]
+    fn with_states_reuses_across_calls() {
+        // Worker-owned counters persist across two waves; the totals cover
+        // both ranges exactly once.
+        let mut states = vec![0usize; 3];
+        let a = map_chunked_with(&mut states, 30, 2, |c, i| {
+            *c += 1;
+            Some(i)
+        });
+        let b = map_chunked_with(&mut states, 12, 2, |c, i| {
+            *c += 1;
+            Some(i * 2)
+        });
+        assert_eq!(a, (0..30).map(Some).collect::<Vec<_>>());
+        assert_eq!(b, (0..12).map(|i| Some(i * 2)).collect::<Vec<_>>());
+        assert_eq!(states.iter().sum::<usize>(), 42, "state carried over");
+    }
+
+    #[test]
+    fn surplus_states_are_left_idle() {
+        // More workers than items: the extra states must not be touched.
+        let mut states = vec![0usize; 8];
+        let out = map_chunked_with(&mut states, 3, 1, |c, i| {
+            *c += 1;
+            Some(i)
+        });
+        assert_eq!(out, vec![Some(0), Some(1), Some(2)]);
+        assert_eq!(states.iter().sum::<usize>(), 3);
+        assert!(states[3..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn with_single_state_runs_inline() {
+        let mut states = vec![0usize];
+        let out = map_chunked_with(&mut states, 5, 1, |c, i| {
+            *c += i;
+            Some(i)
+        });
+        assert_eq!(out, (0..5).map(Some).collect::<Vec<_>>());
+        assert_eq!(states[0], 10);
     }
 
     #[test]

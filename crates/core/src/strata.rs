@@ -30,7 +30,7 @@ pub fn stratify(constraints: &[Constraint]) -> Vec<Vec<usize>> {
     // Pre-compile each tableau once.
     let mut tableaux: Vec<CanonDb> = constraints
         .iter()
-        .map(|c| CanonDb::new(c.tableau()))
+        .map(|c| CanonDb::new(&c.tableau()))
         .collect();
 
     #[allow(clippy::needless_range_loop)]
@@ -66,7 +66,7 @@ fn interacts(c: &Constraint, tableau: &mut CanonDb) -> bool {
         tableau,
         &c.universal,
         &c.premise,
-        &HomMap::new(),
+        &HomMap::default(),
         HomConfig {
             max_homs: 1,
             injective: true,

@@ -139,16 +139,52 @@ fn lookups_guarded(
     }
 }
 
-/// Pure-function variant of [`induce_subquery`]: works on a scratch clone so
-/// `db` is left untouched.
+/// Pure-function variant of [`induce_subquery`]: a congruence savepoint is
+/// taken, the induction runs in place, and the savepoint is rolled back —
+/// leaving `db` byte-exactly as it was.
 ///
 /// Induction saturates congruence classes and interns rebuilt terms, so a
 /// shared mutable `CanonDb` would make each induced subquery depend on every
 /// *previous* induction (term ids feed the `class_paths_over` tie-break).
 /// The backchase — sequential and parallel alike — uses this wrapper so the
 /// result is a function of `(db, keep, select)` only, which is the property
-/// the thread-count-independence guarantee rests on.
+/// the thread-count-independence guarantee rests on. Earlier revisions got
+/// purity by cloning the whole database per candidate (see
+/// [`induce_subquery_via_clone`]); the rollback is O(delta) instead of O(db)
+/// and produces identical output, because the savepoint restore is
+/// byte-exact: every candidate starts from the same term arena, so the
+/// term-id tie-breaks — and with them the emitted query text — cannot drift.
+/// Induction never touches `db.query`, so the congruence savepoint covers
+/// the entire delta.
 pub fn induce_subquery_pure(
+    db: &mut CanonDb,
+    keep: &VarSet,
+    select: &[(Symbol, PathExpr)],
+) -> Option<Query> {
+    #[cfg(debug_assertions)]
+    let (arity_before, len_before) = (db.query.from.len(), db.cong.len());
+    let sp = db.cong.save();
+    let out = induce_subquery(db, keep, select);
+    db.cong.rollback(sp);
+    #[cfg(debug_assertions)]
+    {
+        debug_assert_eq!(
+            db.query.from.len(),
+            arity_before,
+            "induction grew the query"
+        );
+        debug_assert_eq!(db.cong.len(), len_before, "induction left terms behind");
+    }
+    out
+}
+
+/// The clone-per-candidate implementation `induce_subquery_pure` replaced,
+/// kept only as the oracle for the savepoint path's differential suite
+/// (`tests/induction_differential.rs`). The optimizer must never call this:
+/// the backchase frontier performs zero per-candidate database clones
+/// (enforced by `tests/clone_audit.rs`).
+#[doc(hidden)]
+pub fn induce_subquery_via_clone(
     db: &CanonDb,
     keep: &VarSet,
     select: &[(Symbol, PathExpr)],
@@ -219,7 +255,7 @@ mod tests {
         let r = q.bind("r", Range::Name(sym("R")));
         let s = q.bind("s", Range::Name(sym("S")));
         q.output("A", PathExpr::from(s).dot("A"));
-        let mut db = CanonDb::new(q.clone());
+        let mut db = CanonDb::new(&q);
         let keep = VarSet::from_iter([r]);
         assert!(induce_subquery(&mut db, &keep, &q.select).is_none());
     }
@@ -232,7 +268,7 @@ mod tests {
         let s = q.bind("s", Range::Name(sym("S")));
         q.equate(PathExpr::from(r).dot("B"), PathExpr::from(s).dot("A"));
         q.output("A", PathExpr::from(s).dot("A"));
-        let mut db = CanonDb::new(q.clone());
+        let mut db = CanonDb::new(&q);
         let keep = VarSet::from_iter([r]);
         let sub = induce_subquery(&mut db, &keep, &q.select).expect("valid");
         assert_eq!(sub.select[0].1, PathExpr::from(r).dot("B"));
@@ -249,10 +285,10 @@ mod tests {
         q.equate(PathExpr::from(r).dot("A"), PathExpr::from(s).dot("A"));
         q.equate(PathExpr::from(s).dot("A"), PathExpr::from(t).dot("A"));
         q.output("A", PathExpr::from(r).dot("A"));
-        let mut db = CanonDb::new(q.clone());
+        let mut db = CanonDb::new(&q);
         let keep = VarSet::from_iter([r, t]);
         let sub = induce_subquery(&mut db, &keep, &q.select).expect("valid");
-        let mut sdb = CanonDb::new(sub);
+        let mut sdb = CanonDb::new(&sub);
         assert!(
             sdb.implied(&PathExpr::from(r).dot("A"), &PathExpr::from(t).dot("A")),
             "transitive equality must survive the restriction"
@@ -266,7 +302,7 @@ mod tests {
         let k = q.bind("k", Range::Dom(sym("M")));
         let o = q.bind("o", Range::Expr(PathExpr::from(k).lookup_in("M").dot("N")));
         q.output("o", PathExpr::from(o));
-        let mut db = CanonDb::new(q.clone());
+        let mut db = CanonDb::new(&q);
         let keep = VarSet::from_iter([o]);
         assert!(induce_subquery(&mut db, &keep, &q.select).is_none());
     }

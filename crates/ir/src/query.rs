@@ -200,6 +200,16 @@ impl Query {
         self.from.len()
     }
 
+    /// Empties the query (bindings, conditions, outputs, variable cursor)
+    /// while keeping allocated capacity — `cnb-core`'s equivalence checker
+    /// rebuilds candidate databases into one recycled query this way.
+    pub fn clear(&mut self) {
+        self.select.clear();
+        self.from.clear();
+        self.where_.clear();
+        self.next_var = 0;
+    }
+
     /// Upper bound (exclusive) on variable ids allocated so far.
     pub fn var_bound(&self) -> u32 {
         self.next_var
@@ -550,6 +560,17 @@ mod tests {
         let mut q4 = q.clone();
         q4.where_.clear();
         assert_ne!(q.canonical_key(), q4.canonical_key());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut q = chain2();
+        q.clear();
+        assert_eq!(q.arity(), 0);
+        assert!(q.select.is_empty() && q.where_.is_empty());
+        assert_eq!(q.var_bound(), 0, "variable cursor restarts");
+        let v = q.bind("x", Range::Name(sym("R")));
+        assert_eq!(v, Var(0));
     }
 
     #[test]

@@ -1,11 +1,29 @@
 #!/usr/bin/env bash
 # Records the backchase perf trajectory (fig. 6/7 workloads, full backchase,
-# 1/2/4 worker threads) into BENCH_backchase.json at the repo root.
+# 1/2/4 worker threads) plus the congruence savepoint-churn microbench into
+# BENCH_backchase.json at the repo root.
 # Fully offline; ~half a minute of measurement on a laptop-class core.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo build --release -q --bin record_backchase" >&2
 cargo build --release -q --bin record_backchase
-./target/release/record_backchase >BENCH_backchase.json
+
+# Recording with a stale binary silently benchmarks old code; fail loudly if
+# the build somehow left the binary missing or older than any library/binary
+# source it is built from (benches/ and tests/ are not in its build graph,
+# so cargo legitimately skips relinking when only those change).
+bin=target/release/record_backchase
+if [[ ! -x "$bin" ]]; then
+  echo "error: $bin missing after the release build — refusing to record" >&2
+  exit 1
+fi
+stale=$(find crates/*/src src -name '*.rs' -newer "$bin" -print -quit)
+if [[ -n "$stale" ]]; then
+  echo "error: release build is stale ($stale is newer than $bin) — refusing to record" >&2
+  exit 1
+fi
+
+"./$bin" >BENCH_backchase.json
 echo "wrote $(pwd)/BENCH_backchase.json:"
 cat BENCH_backchase.json

@@ -23,4 +23,11 @@ CNB_THREADS=1 cargo test -q
 echo "==> CNB_THREADS=4 cargo test -q   (parallel backchase frontier)"
 CNB_THREADS=4 cargo test -q
 
+# Debug-assert tier: the congruence undo trail re-audits its full invariants
+# (hash-consing bijective, member lists a partition, union-find agreement)
+# after every rollback when CNB_TRAIL_CHECK is set. Expensive, so it is its
+# own pass rather than the default.
+echo "==> CNB_TRAIL_CHECK=1 CNB_THREADS=2 cargo test -q   (trail-consistency audit)"
+CNB_TRAIL_CHECK=1 CNB_THREADS=2 cargo test -q
+
 echo "All checks passed."

@@ -168,6 +168,133 @@ fn congruence_upward_closure() {
     });
 }
 
+// ------------------------------------------ Congruence savepoints (diff) --
+
+/// One replayable congruence operation; the surviving (never rolled back)
+/// prefix of a trace rebuilds the reference closure from scratch.
+#[derive(Clone, Debug)]
+enum CongOp {
+    /// Intern a path (scratch mode when the flag is set — exercising probe
+    /// promotion under savepoints too).
+    Intern(PathExpr, bool),
+    /// Merge the terms produced by the i-th and j-th intern ops.
+    Merge(usize, usize),
+}
+
+/// A random path over a small vocabulary: variables, constants, fields,
+/// dictionary lookups and struct constructors (the latter drive the
+/// struct-injectivity cascades whose rollback we want to stress).
+fn arb_cong_path(rng: &mut SplitMix64, depth: usize) -> PathExpr {
+    let leaf = depth == 0 || rng.gen_bool(0.4);
+    if leaf {
+        if rng.gen_bool(0.2) {
+            return PathExpr::from(rng.gen_range(0i64..3));
+        }
+        return PathExpr::from(Var(rng.gen_range(0u32..6)));
+    }
+    match rng.gen_range(0u32..4) {
+        0 => arb_cong_path(rng, depth - 1).dot(["A", "B"][rng.gen_range(0usize..2)]),
+        1 => PathExpr::Lookup(sym("M"), Box::new(arb_cong_path(rng, depth - 1))),
+        _ => {
+            let mut fields = vec![(sym("A"), arb_cong_path(rng, depth - 1))];
+            if rng.gen_bool(0.5) {
+                fields.push((sym("B"), arb_cong_path(rng, depth - 1)));
+            }
+            PathExpr::MkStruct(fields)
+        }
+    }
+}
+
+fn apply_cong_op(
+    c: &mut Congruence,
+    terms: &mut Vec<chase_too_far::core::congruence::TermId>,
+    op: &CongOp,
+) {
+    match op {
+        CongOp::Intern(p, scratch) => {
+            c.set_scratch_mode(*scratch);
+            let t = c.intern_path(p);
+            c.set_scratch_mode(false);
+            terms.push(t);
+        }
+        CongOp::Merge(i, j) => c.merge(terms[*i], terms[*j]),
+    }
+}
+
+/// After random interleavings of intern / merge / save / rollback — nested
+/// savepoints included — the live closure answers `find`/`equal`/
+/// `class_members`/`is_scratch` exactly like a from-scratch rebuild of the
+/// surviving operations: rollback must leave no residue and lose nothing.
+#[test]
+fn congruence_savepoints_match_rebuild() {
+    cases("congruence_savepoints_match_rebuild", 48, |rng| {
+        let mut live = Congruence::new();
+        let mut live_terms = Vec::new();
+        // Surviving trace + the savepoint stack with the trace/term lengths
+        // at each save (rolling back to stack[k] discards deeper entries,
+        // exercising the outer-rollback-consumes-inner rule).
+        let mut ops: Vec<CongOp> = Vec::new();
+        let mut stack: Vec<(chase_too_far::core::congruence::Savepoint, usize, usize)> = Vec::new();
+        for _ in 0..rng.gen_range(10usize..60) {
+            match rng.gen_range(0u32..10) {
+                0..=4 => {
+                    let op = CongOp::Intern(arb_cong_path(rng, 3), rng.gen_bool(0.25));
+                    apply_cong_op(&mut live, &mut live_terms, &op);
+                    ops.push(op);
+                }
+                5 | 6 => {
+                    if live_terms.len() >= 2 {
+                        let i = rng.gen_range(0usize..live_terms.len());
+                        let j = rng.gen_range(0usize..live_terms.len());
+                        let op = CongOp::Merge(i, j);
+                        apply_cong_op(&mut live, &mut live_terms, &op);
+                        ops.push(op);
+                    }
+                }
+                7 | 8 => stack.push((live.save(), ops.len(), live_terms.len())),
+                _ => {
+                    if !stack.is_empty() {
+                        let k = rng.gen_range(0usize..stack.len());
+                        stack.truncate(k + 1);
+                        let (sp, ops_len, terms_len) = stack.pop().expect("nonempty");
+                        live.rollback(sp);
+                        ops.truncate(ops_len);
+                        live_terms.truncate(terms_len);
+                    }
+                }
+            }
+        }
+        // Reference: replay the surviving trace on a fresh closure.
+        let mut fresh = Congruence::new();
+        let mut fresh_terms = Vec::new();
+        for op in &ops {
+            apply_cong_op(&mut fresh, &mut fresh_terms, op);
+        }
+        assert_eq!(live.len(), fresh.len(), "arena sizes diverged");
+        assert_eq!(live.is_inconsistent(), fresh.is_inconsistent());
+        assert_eq!(live_terms, fresh_terms, "term ids diverged");
+        for (i, &t) in live_terms.iter().enumerate() {
+            assert_eq!(
+                live.is_scratch(t),
+                fresh.is_scratch(t),
+                "scratch flag diverged at term {i}"
+            );
+            let mut lm = live.class_members(t);
+            let mut fm = fresh.class_members(t);
+            lm.sort_unstable();
+            fm.sort_unstable();
+            assert_eq!(lm, fm, "class members diverged at term {i}");
+            for (j, &u) in live_terms.iter().enumerate() {
+                assert_eq!(
+                    live.equal(t, u),
+                    fresh.equal(t, u),
+                    "equal({i}, {j}) diverged"
+                );
+            }
+        }
+    });
+}
+
 // ------------------------------------------------- Random chain queries --
 
 /// A random chain-query scenario: `n` relations, `j ≤ n` secondary indexes,
