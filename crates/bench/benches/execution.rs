@@ -1,11 +1,17 @@
-//! Micro-benchmarks of the execution engine: original query vs the best C&B
-//! plan on generated EC2 data (the engine-level view of fig. 9), on the
-//! in-repo timing harness.
+//! Micro-benchmarks of the execution engine, on the in-repo timing harness:
+//!
+//! * original query vs the best C&B plan on generated EC2 data (the
+//!   engine-level view of fig. 9), and
+//! * the batched executor vs the retained tuple-at-a-time oracle on the EC1
+//!   chain workload — the batched join path must not be slower.
+//!
+//! After timing, each workload prints the observed cardinality/selectivity
+//! feedback one execution hands to the cost model (`feed_cost_model`).
 
 use cnb_bench::timing::BenchGroup;
 use cnb_core::prelude::*;
-use cnb_engine::execute;
-use cnb_workloads::{ec2::Ec2DataSpec, Ec2};
+use cnb_engine::{execute, execute_legacy};
+use cnb_workloads::{ec2::Ec2DataSpec, Ec1, Ec2};
 
 fn main() {
     let ec2 = Ec2::new(2, 2, 1);
@@ -23,4 +29,30 @@ fn main() {
     g.bench("original_query", || execute(&db, &q).unwrap());
     g.bench("best_view_plan", || execute(&db, best).unwrap());
     g.finish();
+
+    // Batched vs tuple-at-a-time on the EC1 chain (same plans, same rows,
+    // byte-identical order — only the execution model differs).
+    let ec1 = Ec1::new(3, 1);
+    let db1 = ec1.generate(2000, 0.05, 7);
+    let q1 = ec1.query();
+    let mut g = BenchGroup::new("execution_ec1_3_1");
+    g.bench("ec1_chain_batched", || execute(&db1, &q1).unwrap());
+    g.bench("ec1_chain_legacy", || execute_legacy(&db1, &q1).unwrap());
+    g.finish();
+
+    // The cardinality-feedback loop, shown once per workload: measured
+    // collection sizes and predicate selectivities land in the cost model.
+    for (name, db, q) in [("ec2", &db, &q), ("ec1", &db1, &q1)] {
+        let stats = execute(db, q).unwrap().stats;
+        let mut model = CostModel::default().with_cardinalities(db.cardinalities());
+        cnb_engine::feed_cost_model(&stats, &mut model);
+        println!(
+            "{name}: observed {} collection cardinalities, {} predicate selectivities \
+             (model join_selectivity {:.6}), est. cost with measured stats: {:.1}",
+            stats.observed_cardinalities().len(),
+            stats.observed_join_selectivities().len(),
+            model.join_selectivity,
+            model.cost(q),
+        );
+    }
 }

@@ -3,8 +3,10 @@
 //! wall-clock on fig. 6/7 workloads at 1/2/4 worker threads, with plan and
 //! explored-subquery counts as a determinism cross-check — the counts must
 //! be identical across the thread sweep, only the timing may move — plus a
-//! `micro` section with the congruence savepoint-churn microbench
-//! (intern + merge + rollback, the backchase hot-loop shape).
+//! `micro` object with two sections: `micro.congruence` (savepoint churn:
+//! intern + merge + rollback, the backchase hot-loop shape) and
+//! `micro.execution` (batched vs. tuple-at-a-time join throughput on the
+//! EC1 chain workload — the batched path must not be slower).
 
 use std::time::Instant;
 
@@ -45,6 +47,33 @@ fn measure(
         plans,
         explored,
     }
+}
+
+/// Median seconds for `iters` executions of the EC1 chain query (the same
+/// workload `cargo bench --bench execution` reports as `ec1_chain_*`),
+/// through the batched engine or the tuple-at-a-time oracle.
+fn execution_micro_secs(
+    db: &cnb_engine::Database,
+    q: &cnb_ir::prelude::Query,
+    batched: bool,
+    iters: u32,
+    reps: usize,
+) -> f64 {
+    let mut times: Vec<f64> = Vec::new();
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..iters {
+            let res = if batched {
+                cnb_engine::execute(db, q)
+            } else {
+                cnb_engine::execute_legacy(db, q)
+            };
+            std::hint::black_box(res.expect("EC1 executes").rows.len());
+        }
+        times.push(start.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
 }
 
 /// Median seconds for `iters` savepoint-churn cycles ([`cnb_bench::ChurnRig`],
@@ -113,16 +142,31 @@ fn main() {
         );
     }
     println!("  ],");
-    println!("  \"micro\": [");
+    println!("  \"micro\": {{");
+    println!("    \"congruence\": [");
     let churn_iters = 10_000u32;
     let churn_bases = [64u32, 512];
     for (i, base) in churn_bases.into_iter().enumerate() {
         let secs = congruence_churn_secs(base, churn_iters, reps);
         let comma = if i + 1 < churn_bases.len() { "," } else { "" };
         println!(
-            "    {{\"name\": \"congruence_churn/{base}\", \"iters\": {churn_iters}, \"median_secs\": {secs:.6}}}{comma}"
+            "      {{\"name\": \"congruence_churn/{base}\", \"iters\": {churn_iters}, \"median_secs\": {secs:.6}}}{comma}"
         );
     }
-    println!("  ]");
+    println!("    ],");
+    println!("    \"execution\": [");
+    let ec1 = Ec1::new(3, 1);
+    let (db, q) = (ec1.generate(2000, 0.05, 7), ec1.query());
+    let exec_iters = 20u32;
+    let batched = execution_micro_secs(&db, &q, true, exec_iters, reps);
+    let legacy = execution_micro_secs(&db, &q, false, exec_iters, reps);
+    println!(
+        "      {{\"name\": \"ec1_3_1_batched\", \"iters\": {exec_iters}, \"median_secs\": {batched:.6}}},"
+    );
+    println!(
+        "      {{\"name\": \"ec1_3_1_legacy\", \"iters\": {exec_iters}, \"median_secs\": {legacy:.6}}}"
+    );
+    println!("    ]");
+    println!("  }}");
     println!("}}");
 }

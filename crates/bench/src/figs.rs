@@ -351,6 +351,12 @@ pub fn fig8_stratification(scale: Scale) -> String {
 /// Figure 9 — detail of the plans generated for one EC2 instance (3 stars,
 /// 2 corners per star, 1 view per star → 8 plans) with per-plan execution
 /// times on a dataset of `rows` tuples per relation.
+///
+/// Exercises the cardinality-feedback loop end to end: every plan's
+/// per-operator observed cardinalities are folded into one cost model
+/// (`cnb_engine::feed_cost_model`), and the table's last column re-costs
+/// each plan with the *measured* selectivities — the ordering an optimizer
+/// with execution feedback would use.
 pub fn fig9_plan_detail(rows: usize) -> String {
     let ec2 = Ec2::new(3, 2, 1);
     let spec = Ec2DataSpec {
@@ -367,9 +373,21 @@ pub fn fig9_plan_detail(rows: usize) -> String {
         secs(res.total_time)
     );
 
+    // Pass 1: execute every plan, feeding observed stats into one model.
+    let mut model = CostModel::default().with_cardinalities(db.cardinalities());
+    let execs: Vec<cnb_engine::ExecResult> = res
+        .plans
+        .iter()
+        .map(|p| {
+            let exec = execute(&db, &p.query).expect("plan executes");
+            cnb_engine::feed_cost_model(&exec.stats, &mut model);
+            exec
+        })
+        .collect();
+
+    // Pass 2: render, re-costing each plan under the measured model.
     let mut table = Vec::new();
-    for (i, p) in res.plans.iter().enumerate() {
-        let exec = execute(&db, &p.query).expect("plan executes");
+    for (i, (p, exec)) in res.plans.iter().zip(&execs).enumerate() {
         let views: Vec<String> = p.physical_used.iter().map(|s| s.to_string()).collect();
         let corners: Vec<String> = p
             .query
@@ -391,6 +409,7 @@ pub fn fig9_plan_detail(rows: usize) -> String {
             format!("{}", i + 1),
             secs(exec.stats.elapsed),
             format!("{}", exec.rows.len()),
+            format!("{:.0}", model.cost(&p.query)),
             views.join(", "),
             format!("{}{}", corners.join(", "), original),
         ]);
@@ -401,10 +420,18 @@ pub fn fig9_plan_detail(rows: usize) -> String {
             "Plan #",
             "Execution time (s)",
             "rows",
+            "est. cost (measured stats)",
             "Views used",
             "Corner relations used",
         ],
         &table,
+    ));
+    out.push_str(&format!(
+        "\nmeasured join selectivity: {:.6} ({} samples); measured set fan-out: {:.2} ({} samples)\n",
+        model.join_selectivity,
+        model.selectivity_samples,
+        model.fanout,
+        model.fanout_samples,
     ));
     out
 }

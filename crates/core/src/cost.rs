@@ -7,31 +7,44 @@
 //! indexes" heuristic. This module provides both: a heuristic score and a
 //! textbook left-deep cost estimate for choosing a plan to execute.
 
-use std::collections::HashMap;
-
+use crate::fxhash::FxHashMap;
 use cnb_ir::prelude::{Query, Range, Schema, Symbol};
 
 /// Statistics + estimation parameters.
+///
+/// Parameters start as static defaults and can be *measured*: the execution
+/// engine records each operator's observed input/output cardinalities and
+/// folds them back in through [`CostModel::observe_cardinality`],
+/// [`CostModel::observe_join_selectivity`] and [`CostModel::observe_fanout`]
+/// (`cnb_engine::feed_cost_model`), so plan ranking (fig. 9) runs on
+/// measured selectivities once any plan has executed.
 #[derive(Clone, Debug)]
 pub struct CostModel {
     /// Cardinality per collection (sets: element count; dictionaries: key
-    /// count).
-    pub cardinalities: HashMap<Symbol, f64>,
+    /// count). Deterministic fxhash map — no random iteration order.
+    pub cardinalities: FxHashMap<Symbol, f64>,
     /// Default cardinality for unknown collections.
     pub default_cardinality: f64,
     /// Selectivity of an equi-join predicate.
     pub join_selectivity: f64,
     /// Average entries per key for set-valued dictionary ranges.
     pub fanout: f64,
+    /// Number of measured selectivities folded into `join_selectivity`
+    /// (0 = the static default is still in effect).
+    pub selectivity_samples: usize,
+    /// Number of measured fan-outs folded into `fanout`.
+    pub fanout_samples: usize,
 }
 
 impl Default for CostModel {
     fn default() -> CostModel {
         CostModel {
-            cardinalities: HashMap::new(),
+            cardinalities: FxHashMap::default(),
             default_cardinality: 1000.0,
             join_selectivity: 0.01,
             fanout: 4.0,
+            selectivity_samples: 0,
+            fanout_samples: 0,
         }
     }
 }
@@ -41,6 +54,49 @@ impl CostModel {
     pub fn with_cardinality(mut self, name: Symbol, card: f64) -> CostModel {
         self.cardinalities.insert(name, card);
         self
+    }
+
+    /// Seeds many cardinalities at once (builder style) — pairs well with
+    /// `Database::cardinalities()`.
+    pub fn with_cardinalities(
+        mut self,
+        cards: impl IntoIterator<Item = (Symbol, f64)>,
+    ) -> CostModel {
+        self.cardinalities.extend(cards);
+        self
+    }
+
+    /// Records a measured collection cardinality (replaces any estimate).
+    pub fn observe_cardinality(&mut self, name: Symbol, card: f64) {
+        self.cardinalities.insert(name, card);
+    }
+
+    /// Folds one measured equi-join selectivity into the model. The first
+    /// observation *replaces* the static default; later ones average in
+    /// (running mean), so repeated executions converge on the workload's
+    /// true selectivity.
+    pub fn observe_join_selectivity(&mut self, sel: f64) {
+        let sel = sel.clamp(1e-9, 1.0);
+        let n = self.selectivity_samples as f64;
+        self.join_selectivity = if self.selectivity_samples == 0 {
+            sel
+        } else {
+            (self.join_selectivity * n + sel) / (n + 1.0)
+        };
+        self.selectivity_samples += 1;
+    }
+
+    /// Folds one measured set-path fan-out into the model (same running
+    /// mean as [`CostModel::observe_join_selectivity`]).
+    pub fn observe_fanout(&mut self, fanout: f64) {
+        let fanout = fanout.max(0.0);
+        let n = self.fanout_samples as f64;
+        self.fanout = if self.fanout_samples == 0 {
+            fanout
+        } else {
+            (self.fanout * n + fanout) / (n + 1.0)
+        };
+        self.fanout_samples += 1;
     }
 
     fn card(&self, name: Symbol) -> f64 {
@@ -147,6 +203,47 @@ mod tests {
             q
         };
         assert!(model.cost(&mk("SMALL")) < model.cost(&mk("BIG")));
+    }
+
+    #[test]
+    fn observations_replace_then_average() {
+        let mut model = CostModel::default();
+        assert_eq!(model.join_selectivity, 0.01, "static default");
+        model.observe_join_selectivity(0.5);
+        assert_eq!(model.join_selectivity, 0.5, "first sample replaces");
+        model.observe_join_selectivity(0.1);
+        assert!((model.join_selectivity - 0.3).abs() < 1e-12, "running mean");
+        assert_eq!(model.selectivity_samples, 2);
+
+        model.observe_fanout(6.0);
+        model.observe_fanout(2.0);
+        assert!((model.fanout - 4.0).abs() < 1e-12);
+
+        model.observe_cardinality(sym("R"), 123.0);
+        assert_eq!(model.cardinalities.get(&sym("R")), Some(&123.0));
+    }
+
+    #[test]
+    fn measured_selectivity_changes_ranking() {
+        // Two plans: a 2-way join vs a single wide scan. With the static 1%
+        // selectivity the join looks cheap; a measured selectivity of ~1
+        // (non-selective predicate) flips the preference.
+        let mut join = Query::new();
+        let a = join.bind("a", Range::Name(sym("BIG_A")));
+        let b = join.bind("b", Range::Name(sym("BIG_B")));
+        join.equate(PathExpr::from(a).dot("X"), PathExpr::from(b).dot("X"));
+        join.output("X", PathExpr::from(a).dot("X"));
+
+        let mut scan = Query::new();
+        let v = scan.bind("v", Range::Name(sym("WIDE")));
+        scan.output("X", PathExpr::from(v).dot("X"));
+
+        let mut model = CostModel::default()
+            .with_cardinalities([(sym("BIG_A"), 100.0), (sym("BIG_B"), 100.0)])
+            .with_cardinality(sym("WIDE"), 5000.0);
+        assert!(model.cost(&join) < model.cost(&scan), "static guess");
+        model.observe_join_selectivity(1.0);
+        assert!(model.cost(&join) > model.cost(&scan), "measured truth");
     }
 
     #[test]

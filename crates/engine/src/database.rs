@@ -4,19 +4,98 @@
 //! (§5.4). Logical relations and class extents are loaded here; physical
 //! structures (indexes, materialized views, ASRs) are *materialized* from the
 //! logical data according to each skeleton's [`PhysicalSpec`].
+//!
+//! Everything here iterates deterministically: tables are insertion-ordered
+//! vectors, dictionaries are [`OrderedDict`]s (fxhash-indexed, iterated in
+//! first-insertion order), and the collection maps themselves use
+//! [`cnb_core::fxhash`] so even whole-database walks are a pure function of
+//! the load sequence. No row order anywhere depends on a randomly seeded
+//! hasher — the engine's output-order guarantee (see [`crate::eval`]) starts
+//! here.
 
-use std::collections::HashMap;
-
+use cnb_core::fxhash::FxHashMap;
 use cnb_ir::prelude::*;
 
 use crate::error::EngineError;
 use crate::eval::execute;
 
+/// A dictionary with deterministic, first-insertion iteration order.
+///
+/// Lookups go through an fxhash index (deterministic, no random state);
+/// iteration walks the entry vector, so `dom M` scans and set-valued
+/// materializations enumerate keys in exactly the order they were first
+/// inserted — identical across runs, platforms and processes. Re-inserting
+/// an existing key replaces the entry *in place*, keeping its original
+/// position (the behaviour an index maintained under updates would have).
+#[derive(Clone, Debug, Default)]
+pub struct OrderedDict {
+    entries: Vec<(Value, Value)>,
+    index: FxHashMap<Value, usize>,
+}
+
+impl OrderedDict {
+    /// An empty dictionary.
+    pub fn new() -> OrderedDict {
+        OrderedDict::default()
+    }
+
+    /// Inserts or replaces an entry, returning the previous value if the key
+    /// existed. Replacement keeps the key's original position.
+    pub fn insert(&mut self, key: Value, value: Value) -> Option<Value> {
+        match self.index.get(&key) {
+            Some(&slot) => Some(std::mem::replace(&mut self.entries[slot].1, value)),
+            None => {
+                self.index.insert(key.clone(), self.entries.len());
+                self.entries.push((key, value));
+                None
+            }
+        }
+    }
+
+    /// The entry for `key`, if present.
+    pub fn get(&self, key: &Value) -> Option<&Value> {
+        self.index.get(key).map(|&slot| &self.entries[slot].1)
+    }
+
+    /// True if `key` has an entry.
+    pub fn contains_key(&self, key: &Value) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Keys in first-insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Entries in first-insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Value, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+impl std::ops::Index<&Value> for OrderedDict {
+    type Output = Value;
+
+    fn index(&self, key: &Value) -> &Value {
+        self.get(key).expect("no entry for key")
+    }
+}
+
 /// An in-memory database instance for a schema.
 #[derive(Clone, Debug, Default)]
 pub struct Database {
-    tables: HashMap<Symbol, Vec<Value>>,
-    dicts: HashMap<Symbol, HashMap<Value, Value>>,
+    tables: FxHashMap<Symbol, Vec<Value>>,
+    dicts: FxHashMap<Symbol, OrderedDict>,
 }
 
 impl Database {
@@ -48,7 +127,7 @@ impl Database {
     }
 
     /// A dictionary (None if absent).
-    pub fn dict(&self, dict: Symbol) -> Option<&HashMap<Value, Value>> {
+    pub fn dict(&self, dict: Symbol) -> Option<&OrderedDict> {
         self.dicts.get(&dict)
     }
 
@@ -64,20 +143,32 @@ impl Database {
     }
 
     /// Cardinalities of every collection, for seeding a cost model.
-    pub fn cardinalities(&self) -> HashMap<Symbol, f64> {
-        let mut out = HashMap::new();
-        for (n, t) in &self.tables {
-            out.insert(*n, t.len() as f64);
-        }
-        for (n, d) in &self.dicts {
-            out.insert(*n, d.len() as f64);
-        }
+    ///
+    /// Returned in ascending [`Symbol`] order — an *explicit* tie-break — so
+    /// consumers that iterate (cost-model seeding, greedy planner
+    /// tie-breaks, test snapshots) cannot inherit map order. The underlying
+    /// maps are fxhash-deterministic anyway, but a sorted slice makes the
+    /// contract independent of hasher details.
+    pub fn cardinalities(&self) -> Vec<(Symbol, f64)> {
+        let mut out: Vec<(Symbol, f64)> = self
+            .tables
+            .iter()
+            .map(|(n, t)| (*n, t.len() as f64))
+            .chain(self.dicts.iter().map(|(n, d)| (*n, d.len() as f64)))
+            .collect();
+        out.sort_by_key(|(n, _)| *n);
         out
     }
 
     /// Materializes every physical structure declared in `schema` from the
     /// logical data currently loaded, following each skeleton's spec.
     /// Views are evaluated with the engine itself.
+    ///
+    /// Materialization order is deterministic: dictionary entries are
+    /// inserted in source-row order, and a secondary index's per-key row
+    /// *sets* list rows in table order (first-appearance bucketing, not map
+    /// iteration) — so dom-scans and set-path expansions over materialized
+    /// structures are run-to-run stable.
     pub fn materialize_physical(&mut self, schema: &Schema) -> Result<(), EngineError> {
         for sk in schema.skeletons() {
             let name = sk.physical_name;
@@ -109,7 +200,10 @@ impl Database {
                 }
                 PhysicalSpec::SecondaryIndex { rel, attr } => {
                     let rows = self.table(*rel).to_vec();
-                    let mut buckets: HashMap<Value, Vec<Value>> = HashMap::new();
+                    // First-appearance bucketing: key order and within-key
+                    // row order both follow the table, never a hash map.
+                    let mut key_order: Vec<Value> = Vec::new();
+                    let mut buckets: FxHashMap<Value, Vec<Value>> = FxHashMap::default();
                     for row in rows {
                         let k = row
                             .field(*attr)
@@ -117,9 +211,14 @@ impl Database {
                                 EngineError::new(format!("{rel} row lacks attribute {attr}"))
                             })?
                             .clone();
-                        buckets.entry(k).or_default().push(row);
+                        let bucket = buckets.entry(k.clone()).or_default();
+                        if bucket.is_empty() {
+                            key_order.push(k);
+                        }
+                        bucket.push(row);
                     }
-                    for (k, rows) in buckets {
+                    for k in key_order {
+                        let rows = buckets.remove(&k).expect("bucketed above");
                         self.set_entry(name, k, Value::set(rows));
                     }
                 }
@@ -153,6 +252,41 @@ mod tests {
     }
 
     #[test]
+    fn ordered_dict_iterates_in_insertion_order() {
+        let mut d = OrderedDict::new();
+        for i in [5i64, 3, 9, 1, 7] {
+            d.insert(Value::Int(i), Value::Int(i * 10));
+        }
+        let keys: Vec<i64> = d
+            .keys()
+            .map(|k| match k {
+                Value::Int(i) => *i,
+                other => panic!("{other:?}"),
+            })
+            .collect();
+        assert_eq!(keys, vec![5, 3, 9, 1, 7], "insertion order, not hash order");
+        // Replacement keeps the original position.
+        assert_eq!(d.insert(Value::Int(9), Value::Int(0)), Some(Value::Int(90)));
+        let keys2: Vec<&Value> = d.keys().collect();
+        assert_eq!(keys2[2], &Value::Int(9));
+        assert_eq!(d[&Value::Int(9)], Value::Int(0));
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn cardinalities_are_symbol_sorted() {
+        let mut db = Database::new();
+        db.insert_row(sym("Zeta"), row(&[("K", 1)]));
+        db.insert_row(sym("Alpha"), row(&[("K", 1)]));
+        db.set_entry(sym("Mid"), Value::Int(1), row(&[("K", 1)]));
+        let cards = db.cardinalities();
+        assert_eq!(cards.len(), 3);
+        let mut sorted = cards.clone();
+        sorted.sort_by_key(|(n, _)| *n);
+        assert_eq!(cards, sorted, "explicit symbol-id order");
+    }
+
+    #[test]
     fn materialize_primary_index() {
         let mut schema = Schema::new();
         schema.add_relation("R", [(sym("K"), Type::Int), (sym("N"), Type::Int)]);
@@ -164,6 +298,10 @@ mod tests {
         let pi = db.dict(sym("PI")).unwrap();
         assert_eq!(pi.len(), 2);
         assert_eq!(pi[&Value::Int(1)].field(sym("N")), Some(&Value::Int(10)));
+        // A primary index has exactly one entry per source row.
+        let spec = &schema.skeletons()[0].spec;
+        assert_eq!(spec.source_relation(), Some(sym("R")));
+        assert_eq!(pi.len(), db.table(spec.source_relation().unwrap()).len());
     }
 
     #[test]
@@ -180,6 +318,13 @@ mod tests {
         assert_eq!(si.len(), 2);
         assert_eq!(si[&Value::Int(10)].elements().unwrap().len(), 2);
         assert_eq!(si[&Value::Int(30)].elements().unwrap().len(), 1);
+        // Keys appear in table order, and each bucket lists rows in
+        // table order — the determinism contract of materialization.
+        let keys: Vec<&Value> = si.keys().collect();
+        assert_eq!(keys, vec![&Value::Int(10), &Value::Int(30)]);
+        let bucket = si[&Value::Int(10)].elements().unwrap();
+        assert_eq!(bucket[0].field(sym("K")), Some(&Value::Int(1)));
+        assert_eq!(bucket[1].field(sym("K")), Some(&Value::Int(2)));
     }
 
     #[test]

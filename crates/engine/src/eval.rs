@@ -1,26 +1,67 @@
-//! Plan interpretation.
+//! Batched, deterministic plan execution.
 //!
 //! Executes a path-conjunctive query (or plan) directly against a
-//! [`Database`]: bindings become scans, dictionary-domain scans, key probes
-//! or set-path lookups; equalities become hash-join accesses or filters. A
-//! greedy selectivity-aware ordering plays the role of the host optimizer's
-//! join reordering (the paper fed its plans to DB2, which did the same).
+//! [`Database`] as a pipeline of batch-at-a-time operators: bindings become
+//! scans, dictionary-domain scans, key probes, set-path expansions or
+//! build/probe hash joins; residual equalities become filters. A greedy
+//! selectivity-aware ordering ([`crate::join`]) plays the role of the host
+//! optimizer's join reordering (the paper fed its plans to DB2, which did
+//! the same).
+//!
+//! **Determinism.** Output row order is a pure function of
+//! `(database, plan)`: batches are walked front to back, hash-join buckets
+//! keep build rows in table order, dictionaries iterate in first-insertion
+//! order, and every hash table is keyed by the deterministic
+//! [`cnb_core::fxhash`]. Two runs — in the same process or different
+//! processes — produce byte-identical `ExecResult.rows`. The row order
+//! equals the old tuple-at-a-time nested-loop order (lexicographic in the
+//! chosen step order), which [`execute_legacy`] retains as a differential
+//! oracle.
+//!
+//! **Cardinality feedback.** Every operator records its observed input and
+//! output cardinalities in [`ExecStats::operators`]; [`feed_cost_model`]
+//! folds them back into a [`cnb_core::cost::CostModel`] so plan ranking
+//! (fig. 9) can use measured selectivities instead of static guesses.
 //!
 //! Lookup semantics are *skipping*: a dictionary lookup on an absent key
 //! produces no bindings (exactly how an index nested-loop join behaves).
 
-use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
+use cnb_core::cost::CostModel;
+use cnb_core::fxhash::FxHashMap;
 use cnb_ir::prelude::*;
 
+use crate::batch::{eval_path_at, slot_map, Batch};
 use crate::database::Database;
 use crate::error::EngineError;
+use crate::join::{apply_access, apply_filters, plan, Access, JoinIndexes};
+
+/// One operator's observed cardinalities — the raw material of the
+/// cost-model feedback loop.
+#[derive(Clone, Debug)]
+pub struct OpStats {
+    /// Operator kind: `scan`, `hash_join`, `dom_scan`, `dom_probe`,
+    /// `path_set` or `filter`.
+    pub op: &'static str,
+    /// The collection accessed (None for filters and anchorless paths).
+    pub collection: Option<Symbol>,
+    /// Cardinality of the accessed collection at execution time (build-side
+    /// rows for hash joins, anchor-dictionary keys for set-path expansions;
+    /// 0 for filters).
+    pub collection_rows: usize,
+    /// Rows in the input batch.
+    pub input_rows: usize,
+    /// Rows produced.
+    pub output_rows: usize,
+}
 
 /// Execution counters.
 #[derive(Clone, Debug, Default)]
 pub struct ExecStats {
-    /// Total binding iterations (a proxy for work done).
+    /// Total binding candidates produced by access operators before
+    /// filtering (a proxy for work done; identical to the tuple-at-a-time
+    /// interpreter's count).
     pub tuples_considered: usize,
     /// Output rows.
     pub rows_out: usize,
@@ -28,6 +69,74 @@ pub struct ExecStats {
     pub elapsed: Duration,
     /// Chosen evaluation order (indexes into the query's from-clause).
     pub order: Vec<usize>,
+    /// Per-operator observed cardinalities, in pipeline order (empty for
+    /// [`execute_legacy`], which predates the batch model).
+    pub operators: Vec<OpStats>,
+}
+
+impl ExecStats {
+    /// Observed cardinality of every collection the plan touched, deduped
+    /// and sorted by symbol — suitable for
+    /// [`CostModel::observe_cardinality`].
+    pub fn observed_cardinalities(&self) -> Vec<(Symbol, f64)> {
+        let mut out: Vec<(Symbol, f64)> = Vec::new();
+        for op in &self.operators {
+            if let Some(c) = op.collection {
+                if !out.iter().any(|(n, _)| *n == c) {
+                    out.push((c, op.collection_rows as f64));
+                }
+            }
+        }
+        out.sort_by_key(|(n, _)| *n);
+        out
+    }
+
+    /// Measured selectivity of each equality predicate the plan evaluated:
+    /// `out / (in · build)` for probe-style joins, `out / in` for residual
+    /// filters. Operators with empty inputs observe nothing.
+    pub fn observed_join_selectivities(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        for op in &self.operators {
+            match op.op {
+                "hash_join" | "dom_probe" => {
+                    let denom = op.input_rows * op.collection_rows;
+                    if denom > 0 {
+                        out.push(op.output_rows as f64 / denom as f64);
+                    }
+                }
+                "filter" if op.input_rows > 0 => {
+                    out.push(op.output_rows as f64 / op.input_rows as f64);
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Measured fan-out of set-valued path expansions (`out / in`).
+    pub fn observed_fanouts(&self) -> Vec<f64> {
+        self.operators
+            .iter()
+            .filter(|op| op.op == "path_set" && op.input_rows > 0)
+            .map(|op| op.output_rows as f64 / op.input_rows as f64)
+            .collect()
+    }
+}
+
+/// Folds one execution's observed cardinalities, join selectivities and
+/// set fan-outs back into a cost model — the fig. 9 feedback loop: after a
+/// plan runs, `model.cost(..)` ranks the alternatives with measured
+/// parameters instead of static defaults.
+pub fn feed_cost_model(stats: &ExecStats, model: &mut CostModel) {
+    for (name, card) in stats.observed_cardinalities() {
+        model.observe_cardinality(name, card);
+    }
+    for sel in stats.observed_join_selectivities() {
+        model.observe_join_selectivity(sel);
+    }
+    for f in stats.observed_fanouts() {
+        model.observe_fanout(f);
+    }
 }
 
 /// Execution result: output rows (structs labeled per the select-clause).
@@ -39,203 +148,70 @@ pub struct ExecResult {
     pub stats: ExecStats,
 }
 
-/// How a binding will be accessed, decided during planning.
-enum Access {
-    /// Full table scan.
-    Scan(Symbol),
-    /// Hash join: probe an (attribute → rows) index with a key expression.
-    HashJoin {
-        table: Symbol,
-        attr: Symbol,
-        key: PathExpr,
-    },
-    /// Iterate all keys of a dictionary.
-    DomScan(Symbol),
-    /// Probe a dictionary with a key expression (binding = the key itself).
-    DomProbe(Symbol, PathExpr),
-    /// Iterate a set-valued path.
-    PathSet(PathExpr),
-}
-
-struct Step {
-    binding_idx: usize,
-    access: Access,
-    /// Equalities fully checkable once this binding is bound.
-    filters: Vec<Equality>,
-}
-
-/// Executes `q` against `db`.
+/// Executes `q` against `db` with the batched engine.
 pub fn execute(db: &Database, q: &Query) -> Result<ExecResult, EngineError> {
     let start = Instant::now();
     q.validate().map_err(EngineError::new)?;
     let steps = plan(db, q)?;
-
-    // Lazily built hash indexes: (table, attr) -> value -> row indexes.
-    let mut indexes: HashMap<(Symbol, Symbol), HashMap<Value, Vec<usize>>> = HashMap::new();
-    for step in &steps {
-        if let Access::HashJoin { table, attr, .. } = &step.access {
-            indexes.entry((*table, *attr)).or_insert_with(|| {
-                let mut idx: HashMap<Value, Vec<usize>> = HashMap::new();
-                for (i, row) in db.table(*table).iter().enumerate() {
-                    if let Some(v) = row.field(*attr) {
-                        idx.entry(v.clone()).or_default().push(i);
-                    }
-                }
-                idx
-            });
-        }
-    }
+    let indexes = JoinIndexes::build(db, &steps);
+    let slots = slot_map(q);
 
     let mut stats = ExecStats {
         order: steps.iter().map(|s| s.binding_idx).collect(),
         ..ExecStats::default()
     };
-    let mut env: HashMap<Var, Value> = HashMap::new();
-    let mut rows = Vec::new();
-    eval_steps(db, q, &steps, &indexes, 0, &mut env, &mut rows, &mut stats)?;
+    let mut batch = Batch::unit(q.from.len());
+    for step in &steps {
+        batch = apply_access(db, q, &slots, &indexes, step, &batch, &mut stats);
+        batch = apply_filters(db, &slots, step, batch, &mut stats);
+    }
+
+    // Projection: rows with any undefined output path are skipped.
+    let mut rows = Vec::with_capacity(batch.len());
+    'row: for r in 0..batch.len() {
+        let mut fields = Vec::with_capacity(q.select.len());
+        for (label, p) in &q.select {
+            match eval_path_at(db, &batch, &slots, r, p) {
+                Some(v) => fields.push((*label, v)),
+                None => continue 'row,
+            }
+        }
+        rows.push(Value::record(fields));
+    }
     stats.rows_out = rows.len();
     stats.elapsed = start.elapsed();
     Ok(ExecResult { rows, stats })
 }
 
-/// Greedy ordering + access-path selection.
-fn plan(db: &Database, q: &Query) -> Result<Vec<Step>, EngineError> {
-    let n = q.from.len();
-    let mut placed: Vec<bool> = vec![false; n];
-    let mut bound: Vec<Var> = Vec::new();
-    let mut used_conds: Vec<bool> = vec![false; q.where_.len()];
-    let mut steps = Vec::with_capacity(n);
-
-    #[allow(clippy::needless_range_loop)]
-    for _ in 0..n {
-        // Candidates: unplaced bindings whose range variables are bound.
-        let mut best: Option<(u8, usize, usize, Access, Option<usize>)> = None;
-        for i in 0..n {
-            if placed[i] {
-                continue;
-            }
-            let b = &q.from[i];
-            let deps_ok = b.range.vars().iter().all(|v| bound.contains(v));
-            if !deps_ok {
-                continue;
-            }
-            let (tier, card, access, consumed) = match &b.range {
-                Range::Expr(p) => (0u8, 0usize, Access::PathSet(p.clone()), None),
-                Range::Dom(m) => match probe_key(q, b.var, &bound, &used_conds, true) {
-                    Some((ci, key)) => (0u8, 1usize, Access::DomProbe(*m, key), Some(ci)),
-                    None => (2u8, db.cardinality(*m), Access::DomScan(*m), None),
-                },
-                Range::Name(t) => match probe_attr_key(q, b.var, &bound, &used_conds) {
-                    Some((ci, attr, key)) => (
-                        1u8,
-                        1usize,
-                        Access::HashJoin {
-                            table: *t,
-                            attr,
-                            key,
-                        },
-                        Some(ci),
-                    ),
-                    None => (2u8, db.cardinality(*t), Access::Scan(*t), None),
-                },
-            };
-            let better = match &best {
-                None => true,
-                Some((bt, bc, ..)) => (tier, card) < (*bt, *bc),
-            };
-            if better {
-                best = Some((tier, card, i, access, consumed));
-            }
-        }
-        let (_, _, idx, access, consumed) = best
-            .ok_or_else(|| EngineError::new("no evaluable binding (cyclic range dependencies?)"))?;
-        // The condition consumed by a probe access is not re-checked.
-        if let Some(ci) = consumed {
-            used_conds[ci] = true;
-        }
-        placed[idx] = true;
-        bound.push(q.from[idx].var);
-        // Filters that become fully bound at this step.
-        let mut filters = Vec::new();
-        for (ci, eq) in q.where_.iter().enumerate() {
-            if used_conds[ci] {
-                continue;
-            }
-            let vars = eq.vars();
-            if vars.iter().all(|v| bound.contains(v)) && vars.contains(&q.from[idx].var) {
-                filters.push(eq.clone());
-            }
-        }
-        steps.push(Step {
-            binding_idx: idx,
-            access,
-            filters,
-        });
-    }
-    Ok(steps)
-}
-
-/// Finds a where-clause equality usable to probe `var` as a dictionary key
-/// (`var = key`) where the key side only uses bound variables.
-fn probe_key(
-    q: &Query,
-    var: Var,
-    bound: &[Var],
-    used: &[bool],
-    dom: bool,
-) -> Option<(usize, PathExpr)> {
-    for (ci, eq) in q.where_.iter().enumerate() {
-        if used[ci] {
-            continue;
-        }
-        for (probe, key) in [(&eq.lhs, &eq.rhs), (&eq.rhs, &eq.lhs)] {
-            let matches_shape = if dom {
-                matches!(probe, PathExpr::Var(v) if *v == var)
-            } else {
-                matches!(probe, PathExpr::Field(base, _)
-                    if matches!(**base, PathExpr::Var(v) if v == var))
-            };
-            if matches_shape && key.vars_all(&mut |v| bound.contains(&v)) {
-                return Some((ci, key.clone()));
-            }
-        }
-    }
-    None
-}
-
-/// Finds a where-clause equality usable as a hash-join access for `var`:
-/// one side is `var.attr`, the other only uses bound variables.
-fn probe_attr_key(
-    q: &Query,
-    var: Var,
-    bound: &[Var],
-    used: &[bool],
-) -> Option<(usize, Symbol, PathExpr)> {
-    for (ci, eq) in q.where_.iter().enumerate() {
-        if used[ci] {
-            continue;
-        }
-        for (probe, key) in [(&eq.lhs, &eq.rhs), (&eq.rhs, &eq.lhs)] {
-            if let PathExpr::Field(base, attr) = probe {
-                if matches!(**base, PathExpr::Var(v) if v == var)
-                    && key.vars_all(&mut |v| bound.contains(&v))
-                {
-                    return Some((ci, *attr, key.clone()));
-                }
-            }
-        }
-    }
-    None
+/// The retired tuple-at-a-time nested-loop interpreter, kept as a compact
+/// differential oracle (same planning, same semantics, same row order —
+/// `tests` and `benches/execution.rs` compare it against [`execute`]).
+/// It records no per-operator stats.
+pub fn execute_legacy(db: &Database, q: &Query) -> Result<ExecResult, EngineError> {
+    let start = Instant::now();
+    q.validate().map_err(EngineError::new)?;
+    let steps = plan(db, q)?;
+    let indexes = JoinIndexes::build(db, &steps);
+    let mut stats = ExecStats {
+        order: steps.iter().map(|s| s.binding_idx).collect(),
+        ..ExecStats::default()
+    };
+    let mut env: FxHashMap<Var, Value> = FxHashMap::default();
+    let mut rows = Vec::new();
+    legacy_steps(db, q, &steps, &indexes, 0, &mut env, &mut rows, &mut stats)?;
+    stats.rows_out = rows.len();
+    stats.elapsed = start.elapsed();
+    Ok(ExecResult { rows, stats })
 }
 
 #[allow(clippy::too_many_arguments)]
-fn eval_steps(
+fn legacy_steps(
     db: &Database,
     q: &Query,
-    steps: &[Step],
-    indexes: &HashMap<(Symbol, Symbol), HashMap<Value, Vec<usize>>>,
+    steps: &[crate::join::Step],
+    indexes: &JoinIndexes,
     depth: usize,
-    env: &mut HashMap<Var, Value>,
+    env: &mut FxHashMap<Var, Value>,
     out: &mut Vec<Value>,
     stats: &mut ExecStats,
 ) -> Result<(), EngineError> {
@@ -265,7 +241,7 @@ fn eval_steps(
                 }
             });
             if pass {
-                eval_steps(db, q, steps, indexes, depth + 1, env, out, stats)?;
+                legacy_steps(db, q, steps, indexes, depth + 1, env, out, stats)?;
             }
             env.remove(&var);
         }};
@@ -279,11 +255,9 @@ fn eval_steps(
         }
         Access::HashJoin { table, attr, key } => {
             if let Some(k) = eval_path(db, env, key) {
-                if let Some(hits) = indexes[&(*table, *attr)].get(&k) {
-                    let rows = db.table(*table);
-                    for &i in hits {
-                        try_value!(rows[i].clone());
-                    }
+                let rows = db.table(*table);
+                for &i in indexes.bucket(*table, *attr, &k) {
+                    try_value!(rows[i as usize].clone());
                 }
             }
         }
@@ -312,9 +286,10 @@ fn eval_steps(
     Ok(())
 }
 
-/// Evaluates a path in the current environment. `None` means undefined
+/// Evaluates a path in an environment (legacy oracle only; the batched
+/// engine evaluates against batch columns). `None` means undefined
 /// (missing dictionary key or field) — the enclosing row is skipped.
-pub fn eval_path(db: &Database, env: &HashMap<Var, Value>, p: &PathExpr) -> Option<Value> {
+pub fn eval_path(db: &Database, env: &FxHashMap<Var, Value>, p: &PathExpr) -> Option<Value> {
     match p {
         PathExpr::Var(v) => env.get(v).cloned(),
         PathExpr::Const(c) => Some(c.clone()),
@@ -336,6 +311,7 @@ pub fn eval_path(db: &Database, env: &HashMap<Var, Value>, p: &PathExpr) -> Opti
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::prng::SplitMix64;
 
     fn row(fields: &[(&str, i64)]) -> Value {
         Value::record(fields.iter().map(|(n, v)| (sym(n), Value::Int(*v))))
@@ -377,6 +353,9 @@ mod tests {
         assert_eq!(res.rows.len(), 2);
         // The second binding is hash-joined, not cross-producted.
         assert!(res.stats.tuples_considered <= 3 + 2, "{:?}", res.stats);
+        // Probe output follows probe-input order: A=1 joins before A=2.
+        assert_eq!(res.rows[0].field(sym("C")), Some(&Value::Int(11)));
+        assert_eq!(res.rows[1].field(sym("C")), Some(&Value::Int(22)));
     }
 
     #[test]
@@ -418,7 +397,7 @@ mod tests {
         let o = q.bind("o", Range::Expr(PathExpr::from(k).lookup_in("M").dot("N")));
         q.output("o", PathExpr::from(o));
         let res = execute(&db, &q).unwrap();
-        let mut vals: Vec<i64> = res
+        let vals: Vec<i64> = res
             .rows
             .iter()
             .map(|r| match r.field(sym("o")) {
@@ -426,7 +405,8 @@ mod tests {
                 other => panic!("{other:?}"),
             })
             .collect();
-        vals.sort();
+        // Dictionaries iterate in insertion order and sets in element
+        // order, so the expansion order is exact — no sort needed.
         assert_eq!(vals, vec![10, 11, 20]);
     }
 
@@ -475,5 +455,122 @@ mod tests {
         q.output("C", PathExpr::from(s).dot("C"));
         let res = execute(&db, &q).unwrap();
         assert_eq!(res.rows.len(), 9);
+        // Lexicographic (outer, inner) order — exactly the nested-loop order.
+        let firsts: Vec<&Value> = res
+            .rows
+            .iter()
+            .map(|r| r.field(sym("A")).unwrap())
+            .collect();
+        assert_eq!(firsts[0], &Value::Int(1));
+        assert_eq!(firsts[2], &Value::Int(1));
+        assert_eq!(firsts[3], &Value::Int(2));
+    }
+
+    #[test]
+    fn operator_stats_and_feedback() {
+        let db = join_db();
+        let mut q = Query::new();
+        let r = q.bind("r", Range::Name(sym("R")));
+        let s = q.bind("s", Range::Name(sym("S")));
+        q.equate(PathExpr::from(r).dot("A"), PathExpr::from(s).dot("A"));
+        q.output("B", PathExpr::from(r).dot("B"));
+        let res = execute(&db, &q).unwrap();
+        // One scan + one hash join, no filters.
+        let ops: Vec<&str> = res.stats.operators.iter().map(|o| o.op).collect();
+        assert_eq!(ops, vec!["scan", "hash_join"]);
+        let cards = res.stats.observed_cardinalities();
+        assert!(cards.contains(&(sym("R"), 3.0)));
+        assert!(cards.contains(&(sym("S"), 3.0)));
+        // Join selectivity: 2 matches out of 3 probes × 3 build rows.
+        let sels = res.stats.observed_join_selectivities();
+        assert_eq!(sels.len(), 1);
+        assert!((sels[0] - 2.0 / 9.0).abs() < 1e-12);
+        // Feedback lands in the model.
+        let mut model = CostModel::default();
+        feed_cost_model(&res.stats, &mut model);
+        assert_eq!(model.cardinalities.get(&sym("R")), Some(&3.0));
+        assert!((model.join_selectivity - 2.0 / 9.0).abs() < 1e-12);
+    }
+
+    /// A dictionary reached *only* through a set-path expansion still
+    /// reports its true cardinality — a hard-coded 0 would let the feedback
+    /// loop overwrite a correctly seeded cost model.
+    #[test]
+    fn path_set_observes_anchor_cardinality() {
+        let mut db = Database::new();
+        for i in 0..2 {
+            db.set_entry(
+                sym("D"),
+                Value::Int(i),
+                Value::record([(sym("Items"), Value::set([Value::Int(10 * i)]))]),
+            );
+        }
+        db.insert_row(sym("R"), row(&[("K", 0)]));
+        // from R r, D[r.K].Items o — D is never bound by a Dom step.
+        let mut q = Query::new();
+        let r = q.bind("r", Range::Name(sym("R")));
+        let o = q.bind(
+            "o",
+            Range::Expr(PathExpr::from(r).dot("K").lookup_in("D").dot("Items")),
+        );
+        q.output("o", PathExpr::from(o));
+        let res = execute(&db, &q).unwrap();
+        assert_eq!(res.rows.len(), 1);
+        let cards = res.stats.observed_cardinalities();
+        assert!(cards.contains(&(sym("D"), 2.0)), "{cards:?}");
+        let mut model = CostModel::default().with_cardinality(sym("D"), 2.0);
+        feed_cost_model(&res.stats, &mut model);
+        assert_eq!(model.cardinalities.get(&sym("D")), Some(&2.0));
+    }
+
+    /// Random databases + every query shape: the batched engine and the
+    /// tuple-at-a-time oracle agree byte-for-byte, rows and order included.
+    #[test]
+    fn batched_agrees_with_legacy_oracle() {
+        let mut rng = SplitMix64::seed_from_u64(0xC0FFEE);
+        for case in 0..40u64 {
+            let mut db = Database::new();
+            let nr = 1 + (rng.next_u64() % 6) as i64;
+            for i in 0..nr {
+                db.insert_row(
+                    sym("R"),
+                    row(&[("A", (rng.next_u64() % 4) as i64), ("B", i)]),
+                );
+                db.insert_row(
+                    sym("S"),
+                    row(&[("A", (rng.next_u64() % 4) as i64), ("C", 100 + i)]),
+                );
+            }
+            for i in 0..nr {
+                let elems = (0..(rng.next_u64() % 3))
+                    .map(|j| Value::Int((10 * i + j as i64) % 7))
+                    .collect::<Vec<_>>();
+                db.set_entry(
+                    sym("M"),
+                    Value::Int(i),
+                    Value::record([(sym("N"), Value::set(elems))]),
+                );
+            }
+            let mut q = Query::new();
+            let r = q.bind("r", Range::Name(sym("R")));
+            let s = q.bind("s", Range::Name(sym("S")));
+            let k = q.bind("k", Range::Dom(sym("M")));
+            let o = q.bind("o", Range::Expr(PathExpr::from(k).lookup_in("M").dot("N")));
+            q.equate(PathExpr::from(r).dot("A"), PathExpr::from(s).dot("A"));
+            if case % 2 == 0 {
+                q.equate(PathExpr::from(o), PathExpr::from(s).dot("A"));
+            }
+            q.output("B", PathExpr::from(r).dot("B"));
+            q.output("C", PathExpr::from(s).dot("C"));
+            q.output("O", PathExpr::from(o));
+            let batched = execute(&db, &q).unwrap();
+            let legacy = execute_legacy(&db, &q).unwrap();
+            assert_eq!(batched.rows, legacy.rows, "case {case}: rows/order differ");
+            assert_eq!(
+                batched.stats.tuples_considered, legacy.stats.tuples_considered,
+                "case {case}: work accounting differs"
+            );
+            assert_eq!(batched.stats.order, legacy.stats.order);
+        }
     }
 }

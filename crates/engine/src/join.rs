@@ -1,0 +1,354 @@
+//! Access-path planning and the batched join/filter operators.
+//!
+//! Planning (shared with the legacy oracle in [`crate::eval`]) is the
+//! greedy selectivity-aware ordering the original interpreter used: probe
+//! accesses beat scans, smaller collections beat larger ones, and ties are
+//! broken **explicitly** by from-clause position — never by the iteration
+//! order of any map (`Database::cardinalities` is likewise symbol-sorted).
+//!
+//! Execution is batch-at-a-time: each operator takes the current
+//! [`Batch`], walks it front to back, and emits a selection vector plus the
+//! new binding's column. Hash-join build tables are keyed by
+//! [`cnb_core::fxhash`] and their buckets keep build-side rows in
+//! first-insertion (table) order, so probe output order is a pure function
+//! of `(database, plan)` — the engine's determinism guarantee.
+
+use cnb_core::fxhash::FxHashMap;
+use cnb_ir::prelude::*;
+
+use crate::batch::{eval_path_at, Batch};
+use crate::database::Database;
+use crate::error::EngineError;
+use crate::eval::{ExecStats, OpStats};
+
+/// How a binding will be accessed, decided during planning.
+pub(crate) enum Access {
+    /// Full table scan.
+    Scan(Symbol),
+    /// Hash join: probe an (attribute → rows) build table with a key path.
+    HashJoin {
+        /// Build-side table.
+        table: Symbol,
+        /// Build-side join attribute.
+        attr: Symbol,
+        /// Probe key over already-bound columns.
+        key: PathExpr,
+    },
+    /// Iterate all keys of a dictionary (insertion order).
+    DomScan(Symbol),
+    /// Probe a dictionary with a key expression (binding = the key itself).
+    DomProbe(Symbol, PathExpr),
+    /// Expand a set-valued path.
+    PathSet(PathExpr),
+}
+
+/// One step of the chosen evaluation order.
+pub(crate) struct Step {
+    /// Index into the query's from-clause.
+    pub binding_idx: usize,
+    /// Access path for the binding.
+    pub access: Access,
+    /// Equalities fully checkable once this binding is bound.
+    pub filters: Vec<Equality>,
+}
+
+/// Greedy ordering + access-path selection.
+pub(crate) fn plan(db: &Database, q: &Query) -> Result<Vec<Step>, EngineError> {
+    let n = q.from.len();
+    let mut placed: Vec<bool> = vec![false; n];
+    let mut bound: Vec<Var> = Vec::new();
+    let mut used_conds: Vec<bool> = vec![false; q.where_.len()];
+    let mut steps = Vec::with_capacity(n);
+
+    #[allow(clippy::needless_range_loop)]
+    for _ in 0..n {
+        // Candidates: unplaced bindings whose range variables are bound.
+        // The comparison key is (access tier, cardinality, from-clause
+        // index) — the final component is the explicit tie-break, so equal
+        // (tier, card) candidates resolve by query position, not by the
+        // order some map happened to yield them.
+        let mut best: Option<(u8, usize, usize, Access, Option<usize>)> = None;
+        for i in 0..n {
+            if placed[i] {
+                continue;
+            }
+            let b = &q.from[i];
+            let deps_ok = b.range.vars().iter().all(|v| bound.contains(v));
+            if !deps_ok {
+                continue;
+            }
+            let (tier, card, access, consumed) = match &b.range {
+                Range::Expr(p) => (0u8, 0usize, Access::PathSet(p.clone()), None),
+                Range::Dom(m) => match probe_key(q, b.var, &bound, &used_conds) {
+                    Some((ci, key)) => (0u8, 1usize, Access::DomProbe(*m, key), Some(ci)),
+                    None => (2u8, db.cardinality(*m), Access::DomScan(*m), None),
+                },
+                Range::Name(t) => match probe_attr_key(q, b.var, &bound, &used_conds) {
+                    Some((ci, attr, key)) => (
+                        1u8,
+                        1usize,
+                        Access::HashJoin {
+                            table: *t,
+                            attr,
+                            key,
+                        },
+                        Some(ci),
+                    ),
+                    None => (2u8, db.cardinality(*t), Access::Scan(*t), None),
+                },
+            };
+            let better = match &best {
+                None => true,
+                Some((bt, bc, bi, ..)) => (tier, card, i) < (*bt, *bc, *bi),
+            };
+            if better {
+                best = Some((tier, card, i, access, consumed));
+            }
+        }
+        let (_, _, idx, access, consumed) = best
+            .ok_or_else(|| EngineError::new("no evaluable binding (cyclic range dependencies?)"))?;
+        // The condition consumed by a probe access is not re-checked.
+        if let Some(ci) = consumed {
+            used_conds[ci] = true;
+        }
+        placed[idx] = true;
+        bound.push(q.from[idx].var);
+        // Filters that become fully bound at this step.
+        let mut filters = Vec::new();
+        for (ci, eq) in q.where_.iter().enumerate() {
+            if used_conds[ci] {
+                continue;
+            }
+            let vars = eq.vars();
+            if vars.iter().all(|v| bound.contains(v)) && vars.contains(&q.from[idx].var) {
+                filters.push(eq.clone());
+            }
+        }
+        steps.push(Step {
+            binding_idx: idx,
+            access,
+            filters,
+        });
+    }
+    Ok(steps)
+}
+
+/// Finds a where-clause equality usable to probe `var` as a dictionary key
+/// (`var = key`) where the key side only uses bound variables.
+fn probe_key(q: &Query, var: Var, bound: &[Var], used: &[bool]) -> Option<(usize, PathExpr)> {
+    for (ci, eq) in q.where_.iter().enumerate() {
+        if used[ci] {
+            continue;
+        }
+        for (probe, key) in [(&eq.lhs, &eq.rhs), (&eq.rhs, &eq.lhs)] {
+            if matches!(probe, PathExpr::Var(v) if *v == var)
+                && key.vars_all(&mut |v| bound.contains(&v))
+            {
+                return Some((ci, key.clone()));
+            }
+        }
+    }
+    None
+}
+
+/// Finds a where-clause equality usable as a hash-join access for `var`:
+/// one side is `var.attr`, the other only uses bound variables.
+fn probe_attr_key(
+    q: &Query,
+    var: Var,
+    bound: &[Var],
+    used: &[bool],
+) -> Option<(usize, Symbol, PathExpr)> {
+    for (ci, eq) in q.where_.iter().enumerate() {
+        if used[ci] {
+            continue;
+        }
+        for (probe, key) in [(&eq.lhs, &eq.rhs), (&eq.rhs, &eq.lhs)] {
+            if let PathExpr::Field(base, attr) = probe {
+                if matches!(**base, PathExpr::Var(v) if v == var)
+                    && key.vars_all(&mut |v| bound.contains(&v))
+                {
+                    return Some((ci, *attr, key.clone()));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Hash-join build tables: `(table, attr) → value → row ids`, rows in
+/// first-insertion (table) order. Keyed by fxhash; nothing iterates the
+/// outer or inner maps — probes enumerate bucket vectors only.
+pub(crate) struct JoinIndexes {
+    map: FxHashMap<(Symbol, Symbol), FxHashMap<Value, Vec<u32>>>,
+}
+
+impl JoinIndexes {
+    /// Builds every table the plan's hash joins will probe.
+    pub fn build(db: &Database, steps: &[Step]) -> JoinIndexes {
+        let mut map: FxHashMap<(Symbol, Symbol), FxHashMap<Value, Vec<u32>>> = FxHashMap::default();
+        for step in steps {
+            if let Access::HashJoin { table, attr, .. } = &step.access {
+                map.entry((*table, *attr)).or_insert_with(|| {
+                    let mut idx: FxHashMap<Value, Vec<u32>> = FxHashMap::default();
+                    for (i, row) in db.table(*table).iter().enumerate() {
+                        if let Some(v) = row.field(*attr) {
+                            idx.entry(v.clone())
+                                .or_default()
+                                .push(u32::try_from(i).expect("table too large for row ids"));
+                        }
+                    }
+                    idx
+                });
+            }
+        }
+        JoinIndexes { map }
+    }
+
+    pub(crate) fn bucket(&self, table: Symbol, attr: Symbol, key: &Value) -> &[u32] {
+        self.map[&(table, attr)]
+            .get(key)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
+/// Applies one access operator to `batch`, producing the next batch and
+/// recording the operator's observed cardinalities.
+pub(crate) fn apply_access(
+    db: &Database,
+    q: &Query,
+    slots: &FxHashMap<Var, usize>,
+    indexes: &JoinIndexes,
+    step: &Step,
+    batch: &Batch,
+    stats: &mut ExecStats,
+) -> Batch {
+    let slot = step.binding_idx;
+    let mut collection = q.from[slot].range.anchor();
+    assert!(
+        batch.len() <= u32::MAX as usize,
+        "batch too large for u32 row ids"
+    );
+    let mut sel: Vec<u32> = Vec::new();
+    let mut vals: Vec<Value> = Vec::new();
+    let (op, collection_rows) = match &step.access {
+        Access::Scan(t) => {
+            let rows = db.table(*t);
+            for r in 0..batch.len() {
+                for row in rows {
+                    sel.push(r as u32);
+                    vals.push(row.clone());
+                }
+            }
+            ("scan", rows.len())
+        }
+        Access::HashJoin { table, attr, key } => {
+            let rows = db.table(*table);
+            for r in 0..batch.len() {
+                if let Some(k) = eval_path_at(db, batch, slots, r, key) {
+                    for &i in indexes.bucket(*table, *attr, &k) {
+                        sel.push(r as u32);
+                        vals.push(rows[i as usize].clone());
+                    }
+                }
+            }
+            ("hash_join", rows.len())
+        }
+        Access::DomScan(m) => {
+            let card = db.dict(*m).map_or(0, |d| d.len());
+            if let Some(d) = db.dict(*m) {
+                for r in 0..batch.len() {
+                    for k in d.keys() {
+                        sel.push(r as u32);
+                        vals.push(k.clone());
+                    }
+                }
+            }
+            ("dom_scan", card)
+        }
+        Access::DomProbe(m, key) => {
+            let card = db.dict(*m).map_or(0, |d| d.len());
+            if let Some(d) = db.dict(*m) {
+                for r in 0..batch.len() {
+                    if let Some(k) = eval_path_at(db, batch, slots, r, key) {
+                        if d.contains_key(&k) {
+                            sel.push(r as u32);
+                            vals.push(k);
+                        }
+                    }
+                }
+            }
+            ("dom_probe", card)
+        }
+        Access::PathSet(p) => {
+            for r in 0..batch.len() {
+                if let Some(Value::Set(items)) = eval_path_at(db, batch, slots, r, p) {
+                    for v in items.iter() {
+                        sel.push(r as u32);
+                        vals.push(v.clone());
+                    }
+                }
+            }
+            // A set-path expansion only *measures* its anchor dictionary if
+            // the dictionary exists; otherwise report no collection at all —
+            // a hard-coded 0 here would let `feed_cost_model` overwrite the
+            // anchor's true cardinality.
+            match collection.and_then(|a| db.dict(a)) {
+                Some(d) => ("path_set", d.len()),
+                None => {
+                    collection = None;
+                    ("path_set", 0)
+                }
+            }
+        }
+    };
+    stats.tuples_considered += sel.len();
+    stats.operators.push(OpStats {
+        op,
+        collection,
+        collection_rows,
+        input_rows: batch.len(),
+        output_rows: sel.len(),
+    });
+    batch.gather_with(&sel, slot, vals)
+}
+
+/// Applies the step's residual filters, one operator per equality, keeping
+/// rows where both sides are defined and equal.
+pub(crate) fn apply_filters(
+    db: &Database,
+    slots: &FxHashMap<Var, usize>,
+    step: &Step,
+    mut batch: Batch,
+    stats: &mut ExecStats,
+) -> Batch {
+    for eq in &step.filters {
+        assert!(
+            batch.len() <= u32::MAX as usize,
+            "batch too large for u32 row ids"
+        );
+        let mut keep: Vec<u32> = Vec::new();
+        for r in 0..batch.len() {
+            let pass = match (
+                eval_path_at(db, &batch, slots, r, &eq.lhs),
+                eval_path_at(db, &batch, slots, r, &eq.rhs),
+            ) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            };
+            if pass {
+                keep.push(r as u32);
+            }
+        }
+        stats.operators.push(OpStats {
+            op: "filter",
+            collection: None,
+            collection_rows: 0,
+            input_rows: batch.len(),
+            output_rows: keep.len(),
+        });
+        batch = batch.gather(&keep);
+    }
+    batch
+}

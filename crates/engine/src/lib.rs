@@ -1,20 +1,27 @@
 //! # cnb-engine — the in-memory execution substrate
 //!
 //! The paper executed its plans on IBM DB2 6.1 (§5.4); this crate is the
-//! from-scratch substitute: in-memory tables and dictionaries, physical
-//! structure materialization driven by skeleton specs, a hash-join plan
-//! interpreter with greedy join ordering, and a seeded data generator with
+//! from-scratch substitute: in-memory tables and insertion-ordered
+//! dictionaries, physical structure materialization driven by skeleton
+//! specs, a **batched** (column-at-a-time) executor with build/probe hash
+//! joins and greedy join ordering, and a seeded data generator with
 //! controlled join selectivities. Relative plan execution times — the only
-//! thing figs. 9 and 10 depend on — are preserved.
+//! thing figs. 9 and 10 depend on — are preserved, and output row order is
+//! a pure function of `(database, plan)`: every hash table is keyed by the
+//! deterministic [`cnb_core::fxhash`] and probed in first-insertion order
+//! (see [`eval`]). Observed per-operator cardinalities feed back into the
+//! optimizer's cost model via [`eval::feed_cost_model`].
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod database;
 pub mod datagen;
 pub mod error;
 pub mod eval;
+mod join;
 pub mod prng;
 
-pub use database::Database;
+pub use database::{Database, OrderedDict};
 pub use error::EngineError;
-pub use eval::{execute, ExecResult, ExecStats};
+pub use eval::{execute, execute_legacy, feed_cost_model, ExecResult, ExecStats, OpStats};

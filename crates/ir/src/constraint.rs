@@ -329,6 +329,21 @@ pub enum PhysicalSpec {
     Opaque,
 }
 
+impl PhysicalSpec {
+    /// The single logical relation this structure is materialized from —
+    /// `None` for views (multi-relation definitions) and opaque structures.
+    /// Execution-side consumers use this to attribute observed index
+    /// cardinalities back to their source relation.
+    pub fn source_relation(&self) -> Option<Symbol> {
+        match self {
+            PhysicalSpec::PrimaryIndex { rel, .. }
+            | PhysicalSpec::CompositeIndex { rel, .. }
+            | PhysicalSpec::SecondaryIndex { rel, .. } => Some(*rel),
+            PhysicalSpec::View(_) | PhysicalSpec::Opaque => None,
+        }
+    }
+}
+
 /// A *skeleton* (Appendix B): a pair of complementary inclusion constraints
 /// describing a physical access structure. `forward` quantifies universally
 /// over logical names and existentially over the physical structure;

@@ -366,6 +366,32 @@ mod tests {
         assert_eq!(sk.backward.conclusion.len(), 3);
     }
 
+    /// Every builder stamps its spec with the logical source relation
+    /// (views excepted) — the hook execution-side stats use to attribute an
+    /// observed index cardinality back to the relation it indexes.
+    #[test]
+    fn specs_carry_their_source_relation() {
+        let mut s = rel_schema();
+        add_primary_index(&mut s, sym("R"), sym("K"), "PI_R");
+        add_secondary_index(&mut s, sym("R"), sym("N"), "SI_R");
+        add_composite_index(&mut s, sym("R"), &[sym("K"), sym("N")], "I_KN");
+        let mut def = Query::new();
+        let r = def.bind("r", Range::Name(sym("R")));
+        def.output("K", PathExpr::from(r).dot("K"));
+        add_materialized_view(&mut s, "V", &def);
+
+        let sources: Vec<Option<Symbol>> = s
+            .skeletons()
+            .iter()
+            .map(|sk| sk.spec.source_relation())
+            .collect();
+        assert_eq!(
+            sources,
+            vec![Some(sym("R")), Some(sym("R")), Some(sym("R")), None],
+            "indexes name their relation; views have no single source"
+        );
+    }
+
     #[test]
     fn key_and_ric_builders() {
         let s = rel_schema();

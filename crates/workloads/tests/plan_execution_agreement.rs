@@ -1,17 +1,54 @@
 //! End-to-end cross-validation: every plan the optimizer generates must
 //! produce exactly the same result multiset as the original query when
-//! executed on generated data. This ties the optimizer's logical claims to
-//! the engine's operational semantics.
+//! executed on generated data — and, since the batched engine, the exact
+//! *row order* of every execution must be reproducible: two independently
+//! generated copies of the same dataset yield byte-identical
+//! `ExecResult.rows` for every plan, with no `sorted()` shim. (Different
+//! plans may still order rows differently from each other — join order
+//! changes enumeration order — which is why the cross-*plan* agreement
+//! check stays a sorted multiset comparison.)
 
 use cnb_core::prelude::*;
-use cnb_engine::execute;
-use cnb_ir::prelude::Value;
+use cnb_engine::{execute, execute_legacy, Database};
+use cnb_ir::prelude::{Query, Value};
 use cnb_workloads::{ec2::Ec2DataSpec, Ec1, Ec2, Ec3};
 
 fn sorted(rows: &[Value]) -> Vec<String> {
     let mut v: Vec<String> = rows.iter().map(|r| r.to_string()).collect();
     v.sort();
     v
+}
+
+/// For every plan: two executions on two independently built copies of the
+/// dataset must agree on rows *and order* (no sorting), and the batched
+/// engine must agree byte-for-byte with the tuple-at-a-time oracle.
+fn assert_exact_order_deterministic(db_a: &Database, db_b: &Database, plans: &[PlanInfo]) {
+    for p in plans {
+        let a = execute(db_a, &p.query).unwrap();
+        let b = execute(db_b, &p.query).unwrap();
+        assert_eq!(
+            a.rows, b.rows,
+            "row order differs across identically generated databases:\n{}",
+            p.query
+        );
+        let oracle = execute_legacy(db_a, &p.query).unwrap();
+        assert_eq!(
+            a.rows, oracle.rows,
+            "batched engine diverges from the nested-loop oracle:\n{}",
+            p.query
+        );
+    }
+}
+
+/// Sorted multiset agreement of every plan against the original query —
+/// the pre-batching semantic check, kept as the cross-plan baseline.
+fn assert_plans_agree_sorted(db: &Database, q: &Query, plans: &[PlanInfo]) {
+    let baseline = sorted(&execute(db, q).unwrap().rows);
+    assert!(!baseline.is_empty(), "dataset too selective for the test");
+    for p in plans {
+        let got = sorted(&execute(db, &p.query).unwrap().rows);
+        assert_eq!(got, baseline, "plan diverges:\n{}", p.query);
+    }
 }
 
 #[test]
@@ -29,12 +66,7 @@ fn ec2_plans_agree() {
     let opt = Optimizer::new(ec2.schema());
     let res = opt.optimize(&q, &OptimizerConfig::with_strategy(Strategy::Full));
     assert!(res.plans.len() >= 4, "expected several plans");
-    let baseline = sorted(&execute(&db, &q).unwrap().rows);
-    assert!(!baseline.is_empty(), "dataset too selective for the test");
-    for p in &res.plans {
-        let got = sorted(&execute(&db, &p.query).unwrap().rows);
-        assert_eq!(got, baseline, "plan diverges:\n{}", p.query);
-    }
+    assert_plans_agree_sorted(&db, &q, &res.plans);
 }
 
 #[test]
@@ -45,12 +77,7 @@ fn ec1_plans_agree() {
     let opt = Optimizer::new(ec1.schema());
     let res = opt.optimize(&q, &OptimizerConfig::with_strategy(Strategy::Oqf));
     assert!(res.plans.len() >= 8, "2^3 scan/index choices at least");
-    let baseline = sorted(&execute(&db, &q).unwrap().rows);
-    assert!(!baseline.is_empty());
-    for p in &res.plans {
-        let got = sorted(&execute(&db, &p.query).unwrap().rows);
-        assert_eq!(got, baseline, "plan diverges:\n{}", p.query);
-    }
+    assert_plans_agree_sorted(&db, &q, &res.plans);
 }
 
 #[test]
@@ -61,10 +88,47 @@ fn ec3_plans_agree() {
     let opt = Optimizer::new(ec3.schema());
     let res = opt.optimize(&q, &OptimizerConfig::with_strategy(Strategy::Full));
     assert!(res.plans.len() >= 4);
-    let baseline = sorted(&execute(&db, &q).unwrap().rows);
-    assert!(!baseline.is_empty());
-    for p in &res.plans {
-        let got = sorted(&execute(&db, &p.query).unwrap().rows);
-        assert_eq!(got, baseline, "plan diverges:\n{}", p.query);
-    }
+    assert_plans_agree_sorted(&db, &q, &res.plans);
+}
+
+#[test]
+fn ec1_execution_order_is_exact() {
+    let ec1 = Ec1::new(3, 1);
+    let (db_a, db_b) = (ec1.generate(300, 0.3, 7), ec1.generate(300, 0.3, 7));
+    let q = ec1.query();
+    assert!(
+        !execute(&db_a, &q).unwrap().rows.is_empty(),
+        "need nonempty results to pin order"
+    );
+    let opt = Optimizer::new(ec1.schema());
+    let res = opt.optimize(&q, &OptimizerConfig::with_strategy(Strategy::Oqf));
+    assert_exact_order_deterministic(&db_a, &db_b, &res.plans);
+}
+
+#[test]
+fn ec2_execution_order_is_exact() {
+    let ec2 = Ec2::new(2, 2, 1);
+    let spec = Ec2DataSpec {
+        rows: 200,
+        corner_sel: 1.0,
+        chain_sel: 0.5,
+        ..Ec2DataSpec::default()
+    };
+    let (db_a, db_b) = (ec2.generate(spec), ec2.generate(spec));
+    let q = ec2.query();
+    assert!(!execute(&db_a, &q).unwrap().rows.is_empty());
+    let opt = Optimizer::new(ec2.schema());
+    let res = opt.optimize(&q, &OptimizerConfig::with_strategy(Strategy::Full));
+    assert_exact_order_deterministic(&db_a, &db_b, &res.plans);
+}
+
+#[test]
+fn ec3_execution_order_is_exact() {
+    let ec3 = Ec3::new(3, 1);
+    let (db_a, db_b) = (ec3.generate(60, 3, 11), ec3.generate(60, 3, 11));
+    let q = ec3.query();
+    assert!(!execute(&db_a, &q).unwrap().rows.is_empty());
+    let opt = Optimizer::new(ec3.schema());
+    let res = opt.optimize(&q, &OptimizerConfig::with_strategy(Strategy::Full));
+    assert_exact_order_deterministic(&db_a, &db_b, &res.plans);
 }

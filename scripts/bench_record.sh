@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Records the backchase perf trajectory (fig. 6/7 workloads, full backchase,
-# 1/2/4 worker threads) plus the congruence savepoint-churn microbench into
-# BENCH_backchase.json at the repo root.
+# 1/2/4 worker threads) plus two micro sections into BENCH_backchase.json at
+# the repo root: micro.congruence (savepoint churn) and micro.execution
+# (batched vs. tuple-at-a-time join throughput on the EC1 chain — the
+# batched path must not be slower).
 # Fully offline; ~half a minute of measurement on a laptop-class core.
 set -euo pipefail
 cd "$(dirname "$0")/.."

@@ -30,4 +30,20 @@ CNB_THREADS=4 cargo test -q
 echo "==> CNB_TRAIL_CHECK=1 CNB_THREADS=2 cargo test -q   (trail-consistency audit)"
 CNB_TRAIL_CHECK=1 CNB_THREADS=2 cargo test -q
 
+# Determinism gate: execution row order must be a pure function of
+# (db, plan). Two *separate processes* run the quickstart example (which
+# asserts exact row order internally and prints rows to stdout); their
+# stdout must be byte-identical — this is what a randomly seeded hash-map
+# iteration anywhere in the scan/join path would break.
+echo "==> determinism gate: quickstart twice, stdout must be byte-identical"
+cargo build --release -q --example quickstart
+qs=target/release/examples/quickstart
+run1=$("$qs" 2>/dev/null)
+run2=$("$qs" 2>/dev/null)
+if [[ "$run1" != "$run2" ]]; then
+  echo "error: quickstart stdout differs across runs — execution is nondeterministic" >&2
+  diff <(printf '%s\n' "$run1") <(printf '%s\n' "$run2") >&2 || true
+  exit 1
+fi
+
 echo "All checks passed."
