@@ -1,0 +1,13 @@
+//! Figure 11 (beyond the paper) — the EC4 TPC-style star schema: FB vs OQF
+//! vs OCS over a `[#dims, #views, #indexed-FKs]` grid, plus per-plan
+//! execution detail with cost-model feedback (fig. 9's measured-statistics
+//! loop on the star workload). `CNB_ROWS` sets the fact-table size.
+
+use cnb_bench::figs::{fig11_ec4_star, Scale};
+use cnb_bench::rows;
+
+fn main() {
+    let rows = rows();
+    eprintln!("generating star dataset: {rows} fact rows, 60% per-dimension selectivity ...");
+    print!("{}", fig11_ec4_star(Scale::Paper, rows));
+}

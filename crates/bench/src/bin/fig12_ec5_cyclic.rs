@@ -1,0 +1,13 @@
+//! Figure 12 (beyond the paper) — EC5 cyclic joins over an edge relation:
+//! FB vs OCS across the cycle shapes (wedge view as the rewrite target),
+//! plus the triangle executed on uniform vs skewed graphs with cost-model
+//! feedback. `CNB_ROWS` sets the edge count.
+
+use cnb_bench::figs::{fig12_ec5_cyclic, Scale};
+use cnb_bench::rows;
+
+fn main() {
+    let edges = rows();
+    eprintln!("generating edge tables: {edges} edges, uniform and skewed ...");
+    print!("{}", fig12_ec5_cyclic(Scale::Paper, edges));
+}

@@ -1,6 +1,6 @@
 //! Records the backchase perf trajectory as JSON (written to
 //! `BENCH_backchase.json` by `scripts/bench_record.sh`): full-backchase
-//! wall-clock on fig. 6/7 workloads at 1/2/4 worker threads, with plan and
+//! wall-clock on fig. 6/7/11/12 workloads at 1/2/4 worker threads, with plan and
 //! explored-subquery counts as a determinism cross-check — the counts must
 //! be identical across the thread sweep, only the timing may move — plus a
 //! `micro` object with two sections: `micro.congruence` (savepoint churn:
@@ -11,7 +11,7 @@
 use std::time::Instant;
 
 use cnb_core::prelude::*;
-use cnb_workloads::{Ec1, Ec2, Ec3};
+use cnb_workloads::{Ec1, Ec2, Ec3, Ec4, Ec5, Workload};
 
 struct Point {
     workload: &'static str,
@@ -117,6 +117,20 @@ fn main() {
     let (q, opt) = (ec3.query(), Optimizer::new(ec3.schema()));
     for t in sweep {
         points.push(measure("ec3_3", &opt, &q, t, reps));
+    }
+
+    // Fig. 11: EC4 star schema — 4 dimensions, 3 views, 2 indexed FKs.
+    let ec4 = Ec4::new(4, 3, 2);
+    let (q, opt) = (Workload::query(&ec4), ec4.optimizer());
+    for t in sweep {
+        points.push(measure("ec4_4_3_2", &opt, &q, t, reps));
+    }
+
+    // Fig. 12: EC5 — the indexed triangle (wedge view + source index).
+    let ec5 = Ec5::new(3, true, true);
+    let (q, opt) = (ec5.cycle_query(), ec5.optimizer());
+    for t in sweep {
+        points.push(measure("ec5_tri_wedge_idx", &opt, &q, t, reps));
     }
 
     let recorded_unix = std::time::SystemTime::now()

@@ -1,7 +1,9 @@
-//! Core routines of the seven experiment binaries (fig. 5 – fig. 10 and the
-//! §5.3.1 plan-count table), extracted from the `src/bin/` drivers so
-//! integration tests can smoke-run every figure with tiny parameters — the
-//! binaries themselves just print the returned markdown.
+//! Core routines of the nine experiment binaries (fig. 5 – fig. 10 and the
+//! §5.3.1 plan-count table from the paper, plus the post-paper figs. 11/12
+//! for the EC4 star-schema and EC5 cyclic-join workloads), extracted from
+//! the `src/bin/` drivers so integration tests can smoke-run every figure
+//! with tiny parameters — the binaries themselves just print the returned
+//! markdown.
 //!
 //! The optimization figures (6/7/8 and the plan-count table) honour the
 //! `CNB_THREADS` knob through [`crate::config`]: the backchase shards its
@@ -12,8 +14,11 @@
 
 use crate::{cell, config, render_table, run, secs, tpp};
 use cnb_core::prelude::*;
+use cnb_engine::datagen::EdgeDist;
 use cnb_engine::execute;
-use cnb_workloads::{ec2::Ec2DataSpec, Ec1, Ec2, Ec3};
+use cnb_workloads::{
+    ec2::Ec2DataSpec, ec4::Ec4DataSpec, ec5::Ec5DataSpec, Ec1, Ec2, Ec3, Ec4, Ec5, Workload,
+};
 use std::time::Instant;
 
 /// Grid size for a figure routine: the paper's full parameter grid, or a
@@ -525,6 +530,198 @@ pub fn fig10_redux(scale: Scale, rows: usize) -> String {
         ],
         &table,
     )
+}
+
+/// Figure 11 (beyond the paper) — the EC4 TPC-style star schema: FB vs OQF
+/// vs OCS time-per-plan over a `[#dims, #views, #indexed-FKs]` grid, then
+/// per-plan execution detail with cost-model feedback on one instance —
+/// every plan's observed cardinalities fold into a single [`CostModel`] and
+/// the last column re-costs the plan under the *measured* statistics, the
+/// ranking an optimizer with execution feedback would use (fig. 9's loop on
+/// the new workload).
+pub fn fig11_ec4_star(scale: Scale, rows: usize) -> String {
+    let mut out = String::new();
+    let points: &[(usize, usize, usize)] = match scale {
+        Scale::Paper => &[(3, 1, 0), (3, 2, 1), (4, 2, 1), (4, 3, 2), (4, 4, 2)],
+        Scale::Smoke => &[(3, 1, 1)],
+    };
+    let mut table = Vec::new();
+    for &(d, v, j) in points {
+        let ec4 = Ec4::new(d, v, j);
+        let opt = ec4.optimizer();
+        let q = ec4.query();
+        let fmt = |strategy| {
+            run(&opt, &q, strategy).map(|r| format!("{:.4} ({})", tpp(&r), r.plans.len()))
+        };
+        table.push(vec![
+            format!("[{d},{v},{j}]"),
+            format!("{}", ec4.constraint_count()),
+            cell(fmt(Strategy::Full)),
+            cell(fmt(Strategy::Oqf)),
+            cell(fmt(Strategy::Ocs)),
+        ]);
+    }
+    out.push_str(&render_table(
+        &format!(
+            "Fig 11 (top): time per plan [EC4 star schema] — seconds (plan count); {} backchase thread(s)",
+            effective_threads()
+        ),
+        &["[d,v,j]", "#constraints", "FB", "OQF", "OCS"],
+        &table,
+    ));
+
+    // Execution + feedback detail on one instance.
+    let (ec4, dim_rows) = match scale {
+        Scale::Paper => (Ec4::new(4, 2, 1), rows / 5),
+        Scale::Smoke => (Ec4::new(3, 2, 1), rows / 2),
+    };
+    let db = ec4.generate(Ec4DataSpec {
+        fact_rows: rows,
+        dim_rows: dim_rows.max(1),
+        fk_sel: 0.6,
+        ..Ec4DataSpec::default()
+    });
+    let q = ec4.query();
+    let res = ec4.optimizer().optimize(&q, &config(Strategy::Oqf));
+    let mut model = CostModel::default().with_cardinalities(db.cardinalities());
+    let execs: Vec<cnb_engine::ExecResult> = res
+        .plans
+        .iter()
+        .map(|p| {
+            let exec = execute(&db, &p.query).expect("plan executes");
+            cnb_engine::feed_cost_model(&exec.stats, &mut model);
+            exec
+        })
+        .collect();
+    let mut table = Vec::new();
+    for (i, (p, exec)) in res.plans.iter().zip(&execs).enumerate() {
+        let physical: Vec<String> = p.physical_used.iter().map(|s| s.to_string()).collect();
+        table.push(vec![
+            format!("{}", i + 1),
+            secs(exec.stats.elapsed),
+            format!("{}", exec.rows.len()),
+            format!("{:.0}", model.cost(&p.query)),
+            if physical.is_empty() {
+                "(*) original query".into()
+            } else {
+                physical.join(", ")
+            },
+        ]);
+    }
+    out.push_str(&render_table(
+        &format!(
+            "Fig 11 (bottom): EC4 [{},{},{}] per-plan execution, {rows} fact rows — costs under measured stats",
+            ec4.dims, ec4.views, ec4.indexed
+        ),
+        &[
+            "Plan #",
+            "Execution time (s)",
+            "rows",
+            "est. cost (measured stats)",
+            "Views/indexes used",
+        ],
+        &table,
+    ));
+    out.push_str(&format!(
+        "\nmeasured join selectivity: {:.6} ({} samples)\n",
+        model.join_selectivity, model.selectivity_samples,
+    ));
+    out
+}
+
+/// Figure 12 (beyond the paper) — EC5 cyclic joins: FB vs OCS time-per-plan
+/// over the cycle shapes (the wedge view doubles as the worst-case-optimal
+/// building block), then the triangle executed on uniform vs skewed graphs
+/// with cost-model feedback — the measured join selectivities differ by
+/// distribution, which is exactly the signal the observed-cardinality loop
+/// exists to capture.
+pub fn fig12_ec5_cyclic(scale: Scale, edges: usize) -> String {
+    let mut out = String::new();
+    let shapes: &[(&str, Ec5)] = match scale {
+        Scale::Paper => &[
+            ("triangle", Ec5::new(3, true, false)),
+            ("triangle+index", Ec5::new(3, true, true)),
+            ("4-cycle", Ec5::new(4, true, false)),
+            ("5-cycle", Ec5::new(5, true, false)),
+        ],
+        Scale::Smoke => &[("triangle", Ec5::new(3, true, false))],
+    };
+    let mut table = Vec::new();
+    for (label, ec5) in shapes {
+        let opt = ec5.optimizer();
+        let q = ec5.cycle_query();
+        let fmt = |strategy| {
+            run(&opt, &q, strategy).map(|r| format!("{:.4} ({})", tpp(&r), r.plans.len()))
+        };
+        table.push(vec![
+            (*label).to_string(),
+            format!("{}", ec5.schema().all_constraints().len()),
+            cell(fmt(Strategy::Full)),
+            cell(fmt(Strategy::Ocs)),
+        ]);
+    }
+    out.push_str(&render_table(
+        &format!(
+            "Fig 12 (top): time per plan [EC5 cyclic joins] — seconds (plan count); {} backchase thread(s)",
+            effective_threads()
+        ),
+        &["shape", "#constraints", "FB", "OCS"],
+        &table,
+    ));
+
+    // Uniform vs skewed execution with feedback, on the triangle.
+    let ec5 = Ec5::triangle();
+    let q = ec5.cycle_query();
+    let res = ec5.optimizer().optimize(&q, &config(Strategy::Full));
+    let mut table = Vec::new();
+    for (label, dist) in [
+        ("uniform", EdgeDist::Uniform),
+        ("skewed γ=2", EdgeDist::Skewed(2.0)),
+    ] {
+        let db = ec5.generate(Ec5DataSpec {
+            nodes: (edges / 5).max(2),
+            edges,
+            dist,
+            ..Ec5DataSpec::default()
+        });
+        let mut model = CostModel::default().with_cardinalities(db.cardinalities());
+        let original = execute(&db, &q).expect("original executes");
+        cnb_engine::feed_cost_model(&original.stats, &mut model);
+        // Best wedge plan under the measured model.
+        let wedge_best = res
+            .plans
+            .iter()
+            .filter(|p| !p.physical_used.is_empty())
+            .map(|p| {
+                let exec = execute(&db, &p.query).expect("plan executes");
+                cnb_engine::feed_cost_model(&exec.stats, &mut model);
+                exec.stats.elapsed
+            })
+            .min();
+        table.push(vec![
+            label.to_string(),
+            format!("{}", db.table(ec5.wedge()).len()),
+            format!("{}", original.rows.len()),
+            secs(original.stats.elapsed),
+            cell(wedge_best.map(secs)),
+            format!("{:.6}", model.join_selectivity),
+        ]);
+    }
+    out.push_str(&render_table(
+        &format!(
+            "Fig 12 (bottom): triangle on {edges} edges, uniform vs skewed — measured feedback"
+        ),
+        &[
+            "distribution",
+            "|W| (wedges)",
+            "triangles",
+            "edge-plan time (s)",
+            "best wedge-plan time (s)",
+            "measured join selectivity",
+        ],
+        &table,
+    ));
+    out
 }
 
 /// §5.3.1 — "Number of plans in EC2": FB vs OQF vs OCS plan counts for the

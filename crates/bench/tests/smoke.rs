@@ -1,4 +1,4 @@
-//! Smoke tests for the seven experiment drivers: run each figure's core
+//! Smoke tests for the nine experiment drivers: run each figure's core
 //! routine with tiny parameters and assert it yields a non-empty markdown
 //! table, so the binaries cannot silently rot.
 
@@ -53,6 +53,36 @@ fn fig9_plan_detail_smoke() {
 #[test]
 fn fig10_redux_smoke() {
     assert_markdown_table("fig10", &figs::fig10_redux(Scale::Smoke, 60));
+}
+
+#[test]
+fn fig11_ec4_star_smoke() {
+    let rendered = figs::fig11_ec4_star(Scale::Smoke, 120);
+    assert_markdown_table("fig11", &rendered);
+    // The execution detail must include the view-free original plan and at
+    // least one view-based rewrite.
+    assert_eq!(rendered.matches("(*) original query").count(), 1);
+    assert!(
+        rendered.contains("VF1"),
+        "no view plan rendered:\n{rendered}"
+    );
+    assert!(
+        rendered.contains("measured join selectivity"),
+        "feedback line missing:\n{rendered}"
+    );
+}
+
+#[test]
+fn fig12_ec5_cyclic_smoke() {
+    let rendered = figs::fig12_ec5_cyclic(Scale::Smoke, 250);
+    assert_markdown_table("fig12", &rendered);
+    // Both distributions must execute and report measured feedback.
+    assert!(rendered.contains("uniform"), "{rendered}");
+    assert!(rendered.contains("skewed"), "{rendered}");
+    assert!(
+        rendered.contains("triangle"),
+        "shape table missing:\n{rendered}"
+    );
 }
 
 #[test]

@@ -5,6 +5,12 @@
 //! accesses beat scans, smaller collections beat larger ones, and ties are
 //! broken **explicitly** by from-clause position — never by the iteration
 //! order of any map (`Database::cardinalities` is likewise symbol-sorted).
+//! A scan that neither shares an equality with the bound prefix nor
+//! unblocks a range-dependent binding is a pure cross product and is
+//! deferred behind every connected or unlocking candidate — without this,
+//! plans whose rewrites remove the "hub" collection (EC4's star rewrites
+//! replace the fact table with index/view accesses) multiply dimension
+//! tables together before the connecting binding ever enters the pipeline.
 //!
 //! Execution is batch-at-a-time: each operator takes the current
 //! [`Batch`], walks it front to back, and emits a selection vector plus the
@@ -97,6 +103,19 @@ pub(crate) fn plan(db: &Database, q: &Query) -> Result<Vec<Step>, EngineError> {
                     None => (2u8, db.cardinality(*t), Access::Scan(*t), None),
                 },
             };
+            // Cross-product demotion: a full scan (tier 2) of a binding
+            // with no unconsumed equality into the bound prefix and no
+            // blocked binding to unlock contributes nothing but a
+            // cardinality factor — defer it until something connects it.
+            let tier = if tier == 2
+                && !bound.is_empty()
+                && !connects(q, b.var, &bound, &used_conds)
+                && !unlocks(q, &placed, b.var, &bound)
+            {
+                3
+            } else {
+                tier
+            };
             let better = match &best {
                 None => true,
                 Some((bt, bc, bi, ..)) => (tier, card, i) < (*bt, *bc, *bi),
@@ -131,6 +150,35 @@ pub(crate) fn plan(db: &Database, q: &Query) -> Result<Vec<Step>, EngineError> {
         });
     }
     Ok(steps)
+}
+
+/// True if some unconsumed where-equality mentions both `var` and a bound
+/// variable — binding `var` next lets that equality filter (or probe) right
+/// away instead of cross-multiplying.
+fn connects(q: &Query, var: Var, bound: &[Var], used: &[bool]) -> bool {
+    q.where_.iter().enumerate().any(|(ci, eq)| {
+        if used[ci] {
+            return false;
+        }
+        let vars = eq.vars();
+        vars.contains(&var) && vars.iter().any(|v| bound.contains(v))
+    })
+}
+
+/// True if binding `var` completes the range dependencies of some unplaced
+/// binding (e.g. the `t in SI[k]` half of a secondary-index pair once `k`
+/// is bound) — the dictionary algebra's access structures come as
+/// (dom, lookup) pairs, so the dom half "connects" through its dependent.
+fn unlocks(q: &Query, placed: &[bool], var: Var, bound: &[Var]) -> bool {
+    q.from.iter().enumerate().any(|(j, b)| {
+        if placed[j] {
+            return false;
+        }
+        let deps = b.range.vars();
+        !deps.is_empty()
+            && deps.contains(&var)
+            && deps.iter().all(|v| *v == var || bound.contains(v))
+    })
 }
 
 /// Finds a where-clause equality usable to probe `var` as a dictionary key

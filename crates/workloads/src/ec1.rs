@@ -5,6 +5,8 @@
 //! attribute `N`. Chain queries join `R_i.N = R_{i+1}.K` (fig. 4) and return
 //! all key attributes. Scaling parameters: `n` and `m = n + j` indexes.
 
+use crate::workload::{DataScale, Expectations, Workload};
+use cnb_core::prelude::Strategy;
 use cnb_ir::prelude::*;
 
 /// EC1 parameters.
@@ -101,6 +103,36 @@ impl Ec1 {
         db.materialize_physical(&self.schema())
             .expect("EC1 materialization cannot fail");
         db
+    }
+}
+
+impl Workload for Ec1 {
+    fn name(&self) -> &'static str {
+        "EC1"
+    }
+
+    fn schema(&self) -> Schema {
+        Ec1::schema(self)
+    }
+
+    fn query(&self) -> Query {
+        Ec1::query(self)
+    }
+
+    fn generate_at(&self, scale: DataScale) -> cnb_engine::Database {
+        // 30 % chain selectivity: selective enough to exercise the joins,
+        // dense enough that full-length chains survive at smoke sizes.
+        self.generate(scale.rows, 0.3, scale.seed)
+    }
+
+    fn expectations(&self) -> Expectations {
+        Expectations {
+            strategy: Strategy::Oqf,
+            // Scan-vs-primary-index is an independent choice per relation.
+            min_plans: 1 << self.relations,
+            physical_plan: true,
+            nonempty_at_smoke: true,
+        }
     }
 }
 

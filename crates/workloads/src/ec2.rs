@@ -9,6 +9,8 @@
 //! hub key has a key constraint. Query size is `s(c+1)`; constraint count is
 //! `s(1 + 2v)`.
 
+use crate::workload::{DataScale, Expectations, Workload};
+use cnb_core::prelude::Strategy;
 use cnb_ir::prelude::*;
 
 /// Dataset parameters for [`Ec2::generate`] (defaults = the paper's §5.4
@@ -192,6 +194,42 @@ impl Ec2 {
     /// Constraint count `s(1 + 2v)` — the paper's measure.
     pub fn constraint_count(&self) -> usize {
         self.stars * (1 + 2 * self.views)
+    }
+}
+
+impl Workload for Ec2 {
+    fn name(&self) -> &'static str {
+        "EC2"
+    }
+
+    fn schema(&self) -> Schema {
+        Ec2::schema(self)
+    }
+
+    fn query(&self) -> Query {
+        Ec2::query(self)
+    }
+
+    fn generate_at(&self, scale: DataScale) -> cnb_engine::Database {
+        // Fat joins (the ratios of `plan_execution_agreement.rs`) so the
+        // chain-of-stars result is nonempty at smoke sizes.
+        self.generate(Ec2DataSpec {
+            rows: scale.rows,
+            corner_sel: 1.0,
+            chain_sel: 0.5,
+            seed: scale.seed,
+            ..Ec2DataSpec::default()
+        })
+    }
+
+    fn expectations(&self) -> Expectations {
+        Expectations {
+            strategy: Strategy::Full,
+            // Each star's views can replace its corner pairs independently.
+            min_plans: 1 + self.stars * self.views,
+            physical_plan: self.views > 0,
+            nonempty_at_smoke: true,
+        }
     }
 }
 

@@ -9,6 +9,8 @@
 //! so that plans using them are only reachable after the semantic
 //! (inverse-flipping) optimization phase.
 
+use crate::workload::{DataScale, Expectations, Workload};
+use cnb_core::prelude::Strategy;
 use cnb_ir::prelude::*;
 
 /// EC3 parameters.
@@ -192,6 +194,37 @@ impl Ec3 {
         db.materialize_physical(&self.schema())
             .expect("EC3 materialization cannot fail");
         db
+    }
+}
+
+impl Workload for Ec3 {
+    fn name(&self) -> &'static str {
+        "EC3"
+    }
+
+    fn schema(&self) -> Schema {
+        Ec3::schema(self)
+    }
+
+    fn query(&self) -> Query {
+        Ec3::query(self)
+    }
+
+    fn generate_at(&self, scale: DataScale) -> cnb_engine::Database {
+        // A third of the base size in objects per class at fan-out 3 keeps
+        // navigation results nonempty without exploding set sizes.
+        self.generate((scale.rows / 3).max(2), 3, scale.seed)
+    }
+
+    fn expectations(&self) -> Expectations {
+        Expectations {
+            strategy: Strategy::Full,
+            // Forward navigation, inverse-flipped navigation, and ASR-based
+            // rewrites each contribute at least one plan.
+            min_plans: if self.asrs > 0 { 3 } else { 2 },
+            physical_plan: self.asrs > 0,
+            nonempty_at_smoke: true,
+        }
     }
 }
 

@@ -1,0 +1,334 @@
+//! Experimental configuration EC5 (post-paper): cyclic join shapes over an
+//! edge relation.
+//!
+//! A single directed edge relation `E(S, T)` and the query shapes where
+//! join-order-based optimizers degrade: k-cycles (triangle, 4-cycle),
+//! k-cliques and open paths. The physical schema can materialize the
+//! two-hop "wedge" view `W(S, M, T) = π(E ⋈ E)` and a secondary index on
+//! the edge source — both as backchase constraints, so C&B discovers plans
+//! like `triangle = W ⋈ E` that **no join reordering of the original query
+//! can express** (the original ranges only over `E`; the wedge plan ranges
+//! over a different collection entirely). Data comes uniform or skewed
+//! ([`cnb_engine::datagen::EdgeDist`]): skew concentrates edges on hub
+//! nodes, the regime where output-size bounds for cyclic queries (Abo
+//! Khamis–Ngo–Suciu, PAPERS.md) separate wedge-based plans from edge-only
+//! ones.
+
+use crate::workload::{DataScale, Expectations, Workload};
+use cnb_core::prelude::Strategy;
+use cnb_engine::datagen::EdgeDist;
+use cnb_ir::prelude::*;
+
+/// Dataset parameters for [`Ec5::generate`].
+#[derive(Clone, Copy, Debug)]
+pub struct Ec5DataSpec {
+    /// Number of nodes (edge endpoints are ids in `[0, nodes)`).
+    pub nodes: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Endpoint distribution: uniform, or skewed toward hub nodes.
+    pub dist: EdgeDist,
+    /// RNG seed (datasets are fully reproducible).
+    pub seed: u64,
+}
+
+impl Default for Ec5DataSpec {
+    fn default() -> Ec5DataSpec {
+        Ec5DataSpec {
+            nodes: 1000,
+            edges: 5000,
+            dist: EdgeDist::Uniform,
+            seed: 42,
+        }
+    }
+}
+
+/// EC5 parameters: the cycle length and which physical structures exist.
+#[derive(Clone, Copy, Debug)]
+pub struct Ec5 {
+    /// Length `k ≥ 3` of the central cycle query (3 = triangle).
+    pub cycle: usize,
+    /// Materialize the wedge view `W(S, M, T)` (two-hop paths).
+    pub wedge_view: bool,
+    /// Build a secondary index `EI` on the edge source `E.S`.
+    pub source_index: bool,
+}
+
+impl Ec5 {
+    /// Creates the configuration, validating `cycle ≥ 3`.
+    pub fn new(cycle: usize, wedge_view: bool, source_index: bool) -> Ec5 {
+        assert!(cycle >= 3, "a cycle needs at least three edges");
+        Ec5 {
+            cycle,
+            wedge_view,
+            source_index,
+        }
+    }
+
+    /// The canonical triangle instance with the wedge view materialized.
+    pub fn triangle() -> Ec5 {
+        Ec5::new(3, true, false)
+    }
+
+    /// The canonical 4-cycle instance with the wedge view materialized.
+    pub fn four_cycle() -> Ec5 {
+        Ec5::new(4, true, false)
+    }
+
+    /// The edge relation name.
+    pub fn edges(&self) -> Symbol {
+        sym("E")
+    }
+
+    /// The wedge view name.
+    pub fn wedge(&self) -> Symbol {
+        sym("W")
+    }
+
+    /// The source index name.
+    pub fn index(&self) -> Symbol {
+        sym("EI")
+    }
+
+    /// The wedge view definition: all two-hop paths,
+    /// `W = select S = e1.S, M = e1.T, T = e2.T from E e1, E e2 where
+    /// e1.T = e2.S`.
+    pub fn wedge_def(&self) -> Query {
+        let mut def = Query::new();
+        let e1 = def.bind("e1", Range::Name(self.edges()));
+        let e2 = def.bind("e2", Range::Name(self.edges()));
+        def.equate(PathExpr::from(e1).dot("T"), PathExpr::from(e2).dot("S"));
+        def.output("S", PathExpr::from(e1).dot("S"));
+        def.output("M", PathExpr::from(e1).dot("T"));
+        def.output("T", PathExpr::from(e2).dot("T"));
+        def
+    }
+
+    /// Builds the schema: the edge relation plus the requested physical
+    /// structures.
+    pub fn schema(&self) -> Schema {
+        let mut schema = Schema::new();
+        schema.add_relation("E", [(sym("S"), Type::Int), (sym("T"), Type::Int)]);
+        if self.wedge_view {
+            let def = self.wedge_def();
+            add_materialized_view(&mut schema, self.wedge(), &def);
+        }
+        if self.source_index {
+            add_secondary_index(&mut schema, self.edges(), sym("S"), "EI");
+        }
+        schema
+    }
+
+    /// The k-cycle query: `k` edges chained `e_i.T = e_{i+1}.S` with the
+    /// last closing back onto the first, returning every node id.
+    pub fn cycle_query(&self) -> Query {
+        let k = self.cycle;
+        let mut q = Query::new();
+        let vars: Vec<Var> = (1..=k)
+            .map(|i| q.bind(&format!("e{i}"), Range::Name(self.edges())))
+            .collect();
+        for i in 0..k {
+            q.equate(
+                PathExpr::from(vars[i]).dot("T"),
+                PathExpr::from(vars[(i + 1) % k]).dot("S"),
+            );
+        }
+        for (i, v) in vars.iter().enumerate() {
+            q.output(&format!("N{}", i + 1), PathExpr::from(*v).dot("S"));
+        }
+        q
+    }
+
+    /// The k-clique query: one edge binding `e_ij` per node pair `i < j`,
+    /// endpoints equated so each node id is shared by all its edges;
+    /// returns every node id. `clique_query(3)` is the triangle up to
+    /// binding names.
+    pub fn clique_query(&self, k: usize) -> Query {
+        assert!(k >= 3, "a clique query needs at least three nodes");
+        let mut q = Query::new();
+        let pairs: Vec<(usize, usize)> = (1..=k)
+            .flat_map(|i| ((i + 1)..=k).map(move |j| (i, j)))
+            .collect();
+        let vars: Vec<Var> = pairs
+            .iter()
+            .map(|(i, j)| q.bind(&format!("e{i}_{j}"), Range::Name(self.edges())))
+            .collect();
+        let var_of = |i: usize, j: usize| {
+            vars[pairs
+                .iter()
+                .position(|&p| p == (i, j))
+                .expect("pair exists")]
+        };
+        // Canonical node terms: node i is the source of its first edge,
+        // except node k which is the target of the last chain edge.
+        let node = |i: usize| -> PathExpr {
+            if i < k {
+                PathExpr::from(var_of(i, i + 1)).dot("S")
+            } else {
+                PathExpr::from(var_of(k - 1, k)).dot("T")
+            }
+        };
+        for (&(i, j), &e) in pairs.iter().zip(&vars) {
+            let s = PathExpr::from(e).dot("S");
+            let t = PathExpr::from(e).dot("T");
+            if s != node(i) {
+                q.equate(s, node(i));
+            }
+            if t != node(j) {
+                q.equate(t, node(j));
+            }
+        }
+        for i in 1..=k {
+            q.output(&format!("N{i}"), node(i));
+        }
+        q
+    }
+
+    /// The open path query: `len` edges chained `e_i.T = e_{i+1}.S`,
+    /// returning the two endpoints.
+    pub fn path_query(&self, len: usize) -> Query {
+        assert!(len >= 1);
+        let mut q = Query::new();
+        let vars: Vec<Var> = (1..=len)
+            .map(|i| q.bind(&format!("e{i}"), Range::Name(self.edges())))
+            .collect();
+        for w in vars.windows(2) {
+            q.equate(PathExpr::from(w[0]).dot("T"), PathExpr::from(w[1]).dot("S"));
+        }
+        q.output("S", PathExpr::from(vars[0]).dot("S"));
+        q.output(
+            "T",
+            PathExpr::from(*vars.last().expect("len >= 1")).dot("T"),
+        );
+        q
+    }
+
+    /// Generates the edge table per `spec` and materializes the wedge view
+    /// and/or source index.
+    pub fn generate(&self, spec: Ec5DataSpec) -> cnb_engine::Database {
+        use cnb_engine::datagen::{gen_edge_table, rng};
+        let mut db = cnb_engine::Database::new();
+        let mut r = rng(spec.seed);
+        db.load_table(
+            self.edges(),
+            gen_edge_table(spec.nodes, spec.edges, spec.dist, &mut r),
+        );
+        db.materialize_physical(&self.schema())
+            .expect("EC5 materialization cannot fail");
+        db
+    }
+}
+
+impl Workload for Ec5 {
+    fn name(&self) -> &'static str {
+        "EC5"
+    }
+
+    fn schema(&self) -> Schema {
+        Ec5::schema(self)
+    }
+
+    fn query(&self) -> Query {
+        self.cycle_query()
+    }
+
+    fn generate_at(&self, scale: DataScale) -> cnb_engine::Database {
+        // Edge/node ratio 4: dense enough that a k-cycle closes often at
+        // smoke sizes, sparse enough that outputs stay in the hundreds.
+        self.generate(Ec5DataSpec {
+            nodes: (scale.rows / 2).max(2),
+            edges: scale.rows * 2,
+            dist: EdgeDist::Uniform,
+            seed: scale.seed,
+        })
+    }
+
+    fn expectations(&self) -> Expectations {
+        Expectations {
+            strategy: Strategy::Full,
+            // With the wedge view, each adjacent edge pair can collapse
+            // into a wedge independently of the others.
+            min_plans: if self.wedge_view { 1 + self.cycle } else { 1 },
+            physical_plan: self.wedge_view,
+            nonempty_at_smoke: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_and_queries_typecheck() {
+        let ec5 = Ec5::new(4, true, true);
+        let schema = ec5.schema();
+        check_query(&schema, &ec5.cycle_query()).expect("cycle well-typed");
+        check_query(&schema, &ec5.clique_query(4)).expect("clique well-typed");
+        check_query(&schema, &ec5.path_query(3)).expect("path well-typed");
+        check_query(&schema, &ec5.wedge_def()).expect("wedge def well-typed");
+        assert_eq!(schema.skeletons().len(), 2, "wedge view + source index");
+        assert!(schema.is_physical(ec5.wedge()));
+        assert!(schema.is_physical(ec5.index()));
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let ec5 = Ec5::triangle();
+        let q = ec5.cycle_query();
+        assert_eq!(q.from.len(), 3);
+        assert_eq!(q.where_.len(), 3, "three cyclic equalities");
+        assert_eq!(q.select.len(), 3);
+    }
+
+    #[test]
+    fn clique_shape() {
+        let ec5 = Ec5::triangle();
+        // K4: 6 edges; each of the 12 endpoint slots is either a canonical
+        // node term or equated to one — 12 - 4 canonical slots = 8.
+        let q = ec5.clique_query(4);
+        assert_eq!(q.from.len(), 6);
+        assert_eq!(q.where_.len(), 8);
+        assert_eq!(q.select.len(), 4);
+    }
+
+    #[test]
+    fn generated_graph_is_deterministic_and_materialized() {
+        let ec5 = Ec5::new(3, true, true);
+        let spec = Ec5DataSpec {
+            nodes: 30,
+            edges: 120,
+            ..Ec5DataSpec::default()
+        };
+        let (a, b) = (ec5.generate(spec), ec5.generate(spec));
+        assert_eq!(a.cardinalities(), b.cardinalities());
+        assert_eq!(a.table(ec5.edges()).len(), 120);
+        assert!(!a.table(ec5.wedge()).is_empty(), "wedge view materialized");
+        assert!(a.dict(ec5.index()).is_some(), "source index materialized");
+    }
+
+    #[test]
+    fn skewed_graph_has_more_wedges_than_uniform() {
+        let ec5 = Ec5::triangle();
+        let wedges = |dist| {
+            let db = ec5.generate(Ec5DataSpec {
+                nodes: 100,
+                edges: 600,
+                dist,
+                seed: 7,
+            });
+            db.table(ec5.wedge()).len()
+        };
+        let (uni, skew) = (wedges(EdgeDist::Uniform), wedges(EdgeDist::Skewed(2.5)));
+        assert!(
+            skew > 2 * uni,
+            "hub concentration must multiply two-hop paths: uniform {uni}, skewed {skew}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least three")]
+    fn rejects_short_cycles() {
+        Ec5::new(2, true, false);
+    }
+}

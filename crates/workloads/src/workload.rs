@@ -1,0 +1,159 @@
+//! The [`Workload`] trait: one uniform surface over every experimental
+//! configuration.
+//!
+//! A workload bundles everything a scenario needs to be judged end to end —
+//! a schema (logical relations plus physical structures *described as
+//! constraints*), the scenario's central query, a seeded data generator at a
+//! requested [`DataScale`], and [`Expectations`]: the plan/row invariants
+//! the generic golden, differential and smoke suites assert for it. EC1–EC3
+//! (the paper's §5.1 configurations) and the post-paper EC4 (star schema)
+//! and EC5 (cyclic joins) families all implement it, so every engine or
+//! optimizer change is exercised against five scenario families by the same
+//! generic code paths.
+//!
+//! Adding a new family is three steps: implement the trait, register the
+//! canonical instance in [`suite`], and add a figure routine in
+//! `cnb_bench::figs` — the generic suites pick the rest up automatically.
+
+use cnb_core::prelude::{OptimizeResult, Optimizer, OptimizerConfig, Strategy};
+use cnb_engine::Database;
+use cnb_ir::prelude::{Constraint, Query, Schema};
+
+/// A seeded dataset-size request, uniform across workloads.
+///
+/// `rows` is each family's base size knob — tuples per relation (EC1/EC2/
+/// EC4), objects per class (EC3), or graph edges (EC5); families derive
+/// their secondary sizes (dimension rows, node counts, fan-outs) from it so
+/// one number scales the whole dataset. Generation is a pure function of
+/// `(workload parameters, DataScale)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DataScale {
+    /// Base size (see the struct docs for the per-family meaning).
+    pub rows: usize,
+    /// RNG seed; identical scales generate identical databases.
+    pub seed: u64,
+}
+
+impl DataScale {
+    /// A scale with the given base size and seed.
+    pub fn new(rows: usize, seed: u64) -> DataScale {
+        DataScale { rows, seed }
+    }
+
+    /// The seconds-scale size the smoke/golden suites run at: big enough
+    /// that every canonical instance returns a nonempty result, small
+    /// enough for `cargo test -q`.
+    pub fn smoke() -> DataScale {
+        DataScale::new(200, 7)
+    }
+}
+
+/// Plan/row invariants a workload instance promises; the generic suites
+/// (golden + differential tests, bench smoke) assert them.
+#[derive(Clone, Copy, Debug)]
+pub struct Expectations {
+    /// The backchase strategy the suites optimize the instance under (the
+    /// cheapest one that still surfaces the family's interesting plans).
+    pub strategy: Strategy,
+    /// The optimizer must emit at least this many plans.
+    pub min_plans: usize,
+    /// At least one plan must range over a *physical* structure (an index,
+    /// view or ASR) — a plan that join reordering over the original query's
+    /// collections could never produce.
+    pub physical_plan: bool,
+    /// Executing the query at [`DataScale::smoke`] must return rows (so
+    /// exact-order golden tests pin a nonempty result).
+    pub nonempty_at_smoke: bool,
+}
+
+/// One experimental configuration, generically drivable end to end:
+/// parse/build → chase → backchase → (batched) execution.
+pub trait Workload {
+    /// Short family name ("EC1" … "EC5"), used in suite labels.
+    fn name(&self) -> &'static str;
+
+    /// The schema: logical collections, semantic constraints, and physical
+    /// structures with their skeleton constraint-pairs.
+    fn schema(&self) -> Schema;
+
+    /// The scenario's central query (against the logical schema).
+    fn query(&self) -> Query;
+
+    /// Generates the seeded dataset and materializes every physical
+    /// structure of [`Workload::schema`].
+    fn generate_at(&self, scale: DataScale) -> Database;
+
+    /// The invariants this instance promises (see [`Expectations`]).
+    fn expectations(&self) -> Expectations;
+
+    /// Every constraint optimization runs under: semantic constraints plus
+    /// both directions of every skeleton.
+    fn constraints(&self) -> Vec<Constraint> {
+        self.schema().all_constraints()
+    }
+
+    /// An optimizer over this workload's schema.
+    fn optimizer(&self) -> Optimizer {
+        Optimizer::new(self.schema())
+    }
+
+    /// Optimizes the central query under the expected strategy with default
+    /// limits — what the generic suites run.
+    fn optimize(&self) -> OptimizeResult {
+        let strategy = self.expectations().strategy;
+        self.optimizer()
+            .optimize(&self.query(), &OptimizerConfig::with_strategy(strategy))
+    }
+}
+
+/// The canonical instance of every family, boxed for generic iteration —
+/// sized so that optimizing and executing all five at [`DataScale::smoke`]
+/// stays in test budget.
+pub fn suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(crate::Ec1::new(3, 1)),
+        Box::new(crate::Ec2::new(2, 2, 1)),
+        Box::new(crate::Ec3::new(3, 1)),
+        Box::new(crate::Ec4::new(3, 2, 1)),
+        Box::new(crate::Ec5::triangle()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_is_plain_data() {
+        let s = DataScale::new(10, 3);
+        assert_eq!(s, DataScale { rows: 10, seed: 3 });
+        assert_eq!(DataScale::smoke(), DataScale::smoke());
+    }
+
+    /// Every suite member typechecks its query, keeps its expectations
+    /// internally consistent, and generates a deterministic smoke dataset.
+    #[test]
+    fn suite_members_are_well_formed() {
+        let names: Vec<&str> = suite().iter().map(|w| w.name()).collect();
+        assert_eq!(names, ["EC1", "EC2", "EC3", "EC4", "EC5"]);
+        for w in suite() {
+            let schema = w.schema();
+            cnb_ir::prelude::check_query(&schema, &w.query())
+                .unwrap_or_else(|e| panic!("{}: query ill-typed: {e}", w.name()));
+            assert!(
+                !w.constraints().is_empty(),
+                "{}: a workload without constraints cannot exercise the backchase",
+                w.name()
+            );
+            assert!(w.expectations().min_plans >= 1, "{}", w.name());
+            let scale = DataScale::smoke();
+            let (a, b) = (w.generate_at(scale), w.generate_at(scale));
+            assert_eq!(
+                a.cardinalities(),
+                b.cardinalities(),
+                "{}: generation must be a pure function of the scale",
+                w.name()
+            );
+        }
+    }
+}

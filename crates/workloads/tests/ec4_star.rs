@@ -1,0 +1,134 @@
+//! EC4 golden + differential suite: the TPC-style star schema.
+//!
+//! Same contract as `plan_execution_agreement.rs`: every plan the optimizer
+//! generates must compute the original star query's answer, two
+//! independently generated copies of the dataset must yield byte-identical
+//! row *order* for every plan (no `sorted()` shim), and the batched engine
+//! must agree byte-for-byte with the `execute_legacy` tuple-at-a-time
+//! oracle. On key-respecting star data (serial keys), view- and index-based
+//! rewrites preserve multiplicities, so cross-plan agreement is a full
+//! multiset comparison here — stricter than EC5's set-semantics check.
+
+mod support;
+
+use cnb_engine::execute;
+use cnb_workloads::{ec4::Ec4DataSpec, Ec4, Workload};
+use support::{assert_exact_order_deterministic, sorted};
+
+fn spec() -> Ec4DataSpec {
+    // Fat fact–dimension joins so the 3-way star yields rows on 150 facts.
+    Ec4DataSpec {
+        fact_rows: 150,
+        dim_rows: 60,
+        fk_sel: 0.8,
+        a_values: 20,
+        seed: 5,
+    }
+}
+
+/// Every plan — view rewrites, index plans, and the original — returns the
+/// original query's multiset of rows, and the plan set covers both view
+/// choices independently (the `2^views` floor from [`Workload`]
+/// expectations).
+#[test]
+fn ec4_plans_agree() {
+    let ec4 = Ec4::new(3, 2, 1);
+    let db = ec4.generate(spec());
+    let q = ec4.query();
+    let res = ec4.optimize();
+    assert!(!res.timed_out);
+    let exp = ec4.expectations();
+    assert!(
+        res.plans.len() >= exp.min_plans,
+        "expected at least {} plans, got {}",
+        exp.min_plans,
+        res.plans.len()
+    );
+    // Both single-view rewrites and the both-views rewrite must be present.
+    for l in 1..=2usize {
+        assert!(
+            res.plans
+                .iter()
+                .any(|p| p.physical_used.contains(&ec4.view(l))),
+            "no plan uses VF{l}"
+        );
+    }
+    assert!(
+        res.plans
+            .iter()
+            .any(|p| p.physical_used.contains(&ec4.view(1))
+                && p.physical_used.contains(&ec4.view(2))),
+        "no plan uses both views at once"
+    );
+    let baseline = sorted(&execute(&db, &q).unwrap().rows);
+    assert!(!baseline.is_empty(), "dataset too selective for the test");
+    for p in &res.plans {
+        assert_eq!(
+            sorted(&execute(&db, &p.query).unwrap().rows),
+            baseline,
+            "plan diverges:\n{}",
+            p.query
+        );
+    }
+}
+
+/// Exact-order golden test: double-generated databases agree row-for-row on
+/// every plan, and the batched engine matches the tuple-at-a-time oracle.
+#[test]
+fn ec4_execution_order_is_exact() {
+    let ec4 = Ec4::new(3, 2, 1);
+    let (db_a, db_b) = (ec4.generate(spec()), ec4.generate(spec()));
+    let q = ec4.query();
+    assert!(
+        !execute(&db_a, &q).unwrap().rows.is_empty(),
+        "need nonempty results to pin order"
+    );
+    let res = ec4.optimize();
+    assert_exact_order_deterministic(&db_a, &db_b, &res.plans);
+}
+
+/// Regression guard for the join planner's cross-product demotion: EC4's
+/// index rewrites replace the fact table — the collection every dimension
+/// joins through — with a `dom SIF1` / `SIF1[k]` pair, and a greedy order
+/// that scans dimensions before that pair multiplies them into a cross
+/// product (observed pre-fix: tens of millions of intermediate tuples on a
+/// 150-fact dataset). Every plan must now execute with near-linear work.
+#[test]
+fn ec4_plans_execute_without_cross_products() {
+    let ec4 = Ec4::new(3, 2, 1);
+    let db = ec4.generate(spec());
+    for p in &ec4.optimize().plans {
+        let stats = execute(&db, &p.query).unwrap().stats;
+        assert!(
+            stats.tuples_considered <= 100 * spec().fact_rows,
+            "plan considered {} tuples — a cross product crept back in:\n{}",
+            stats.tuples_considered,
+            p.query
+        );
+    }
+}
+
+/// The materialized view genuinely replaces work: a view plan scans `VF_l`
+/// instead of joining `F` with `D_l`, so it must not range over `D_l` at
+/// all — the view is consulted, not recomputed.
+#[test]
+fn ec4_view_plans_drop_the_covered_dimension() {
+    let ec4 = Ec4::new(3, 2, 0);
+    let res = ec4.optimize();
+    let view_plan = res
+        .plans
+        .iter()
+        .find(|p| p.physical_used.contains(&ec4.view(1)))
+        .expect("a VF1 plan must exist");
+    let ranges: Vec<String> = view_plan
+        .query
+        .from
+        .iter()
+        .map(|b| format!("{:?}", b.range))
+        .collect();
+    assert!(
+        !ranges.iter().any(|r| r.contains("D1")),
+        "VF1 plan still joins D1: {ranges:?}\n{}",
+        view_plan.query
+    );
+}

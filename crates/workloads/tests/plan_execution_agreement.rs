@@ -8,37 +8,13 @@
 //! changes enumeration order — which is why the cross-*plan* agreement
 //! check stays a sorted multiset comparison.)
 
+mod support;
+
 use cnb_core::prelude::*;
-use cnb_engine::{execute, execute_legacy, Database};
-use cnb_ir::prelude::{Query, Value};
+use cnb_engine::{execute, Database};
+use cnb_ir::prelude::Query;
 use cnb_workloads::{ec2::Ec2DataSpec, Ec1, Ec2, Ec3};
-
-fn sorted(rows: &[Value]) -> Vec<String> {
-    let mut v: Vec<String> = rows.iter().map(|r| r.to_string()).collect();
-    v.sort();
-    v
-}
-
-/// For every plan: two executions on two independently built copies of the
-/// dataset must agree on rows *and order* (no sorting), and the batched
-/// engine must agree byte-for-byte with the tuple-at-a-time oracle.
-fn assert_exact_order_deterministic(db_a: &Database, db_b: &Database, plans: &[PlanInfo]) {
-    for p in plans {
-        let a = execute(db_a, &p.query).unwrap();
-        let b = execute(db_b, &p.query).unwrap();
-        assert_eq!(
-            a.rows, b.rows,
-            "row order differs across identically generated databases:\n{}",
-            p.query
-        );
-        let oracle = execute_legacy(db_a, &p.query).unwrap();
-        assert_eq!(
-            a.rows, oracle.rows,
-            "batched engine diverges from the nested-loop oracle:\n{}",
-            p.query
-        );
-    }
-}
+use support::{assert_exact_order_deterministic, sorted};
 
 /// Sorted multiset agreement of every plan against the original query —
 /// the pre-batching semantic check, kept as the cross-plan baseline.

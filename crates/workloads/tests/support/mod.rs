@@ -1,0 +1,50 @@
+//! Shared helpers for the workload integration suites (lives in a
+//! subdirectory so cargo does not treat it as a test target of its own).
+//! Each suite uses its own subset of the helpers.
+#![allow(dead_code)]
+
+use cnb_core::prelude::PlanInfo;
+use cnb_engine::{execute, execute_legacy, Database};
+use cnb_ir::prelude::Value;
+
+/// Full multiset of rows as sorted strings — the strict cross-plan
+/// comparison, valid where rewrites preserve multiplicities (EC1–EC4's
+/// key-respecting data).
+pub fn sorted(rows: &[Value]) -> Vec<String> {
+    let mut v: Vec<String> = rows.iter().map(|r| r.to_string()).collect();
+    v.sort();
+    v
+}
+
+/// Distinct answer set, sorted. Cross-plan agreement on EC5 must be a *set*
+/// comparison: C&B equivalence is the paper's set-semantics containment, and
+/// wedge-pair plans (`W ⋈ W`) genuinely change multiplicities when parallel
+/// edges exist (two distinct edge rows with equal endpoints produce one
+/// wedge value each, and the wedge join cannot tell them apart).
+pub fn distinct(rows: &[Value]) -> Vec<String> {
+    let mut v = sorted(rows);
+    v.dedup();
+    v
+}
+
+/// The engine's determinism contract, per plan: two executions on two
+/// independently built copies of the dataset must agree on rows *and order*
+/// (no sorting), and the batched engine must agree byte-for-byte with the
+/// `execute_legacy` tuple-at-a-time oracle.
+pub fn assert_exact_order_deterministic(db_a: &Database, db_b: &Database, plans: &[PlanInfo]) {
+    for p in plans {
+        let a = execute(db_a, &p.query).unwrap();
+        let b = execute(db_b, &p.query).unwrap();
+        assert_eq!(
+            a.rows, b.rows,
+            "row order differs across identically generated databases:\n{}",
+            p.query
+        );
+        let oracle = execute_legacy(db_a, &p.query).unwrap();
+        assert_eq!(
+            a.rows, oracle.rows,
+            "batched engine diverges from the nested-loop oracle:\n{}",
+            p.query
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! The generic suite: every family behind the [`Workload`] trait satisfies
+//! its own [`Expectations`] through the full pipeline — schema → optimize
+//! (chase + backchase) → seeded generation → batched execution — using only
+//! trait methods, the way future engine/optimizer PRs are judged.
+
+mod support;
+
+use cnb_engine::execute;
+use cnb_workloads::{suite, DataScale};
+use support::distinct;
+
+/// Optimization invariants, per family: no timeout, the promised plan
+/// floor, and — where promised — a plan ranging over a physical structure.
+#[test]
+fn every_workload_meets_its_plan_expectations() {
+    for w in suite() {
+        let exp = w.expectations();
+        let res = w.optimize();
+        assert!(!res.timed_out, "{}: optimization timed out", w.name());
+        assert!(
+            res.plans.len() >= exp.min_plans,
+            "{}: expected ≥ {} plans, got {}",
+            w.name(),
+            exp.min_plans,
+            res.plans.len()
+        );
+        if exp.physical_plan {
+            assert!(
+                res.plans.iter().any(|p| !p.physical_used.is_empty()),
+                "{}: no plan uses a physical structure",
+                w.name()
+            );
+        }
+        assert!(
+            res.plans.iter().any(|p| p.physical_used.is_empty()),
+            "{}: the original (physical-free) query must be among the plans",
+            w.name()
+        );
+    }
+}
+
+/// Execution invariants, per family: the smoke dataset is reproducible and
+/// nonempty where promised, and every generated plan computes the original
+/// query's answer set on it.
+#[test]
+fn every_workload_executes_all_plans_consistently() {
+    for w in suite() {
+        let exp = w.expectations();
+        let scale = DataScale::smoke();
+        let (db, db2) = (w.generate_at(scale), w.generate_at(scale));
+        let q = w.query();
+        let base = execute(&db, &q).unwrap();
+        if exp.nonempty_at_smoke {
+            assert!(!base.rows.is_empty(), "{}: empty at smoke scale", w.name());
+        }
+        assert_eq!(
+            base.rows,
+            execute(&db2, &q).unwrap().rows,
+            "{}: row order not a pure function of (scale, query)",
+            w.name()
+        );
+        let baseline = distinct(&base.rows);
+        for p in &w.optimize().plans {
+            assert_eq!(
+                distinct(&execute(&db, &p.query).unwrap().rows),
+                baseline,
+                "{}: plan diverges:\n{}",
+                w.name(),
+                p.query
+            );
+        }
+    }
+}

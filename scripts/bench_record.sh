@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Records the backchase perf trajectory (fig. 6/7 workloads, full backchase,
+# Records the backchase perf trajectory (fig. 6/7 workloads plus the EC4
+# star-schema and EC5 cyclic-join workloads of figs. 11/12, full backchase,
 # 1/2/4 worker threads) plus two micro sections into BENCH_backchase.json at
 # the repo root: micro.congruence (savepoint churn) and micro.execution
 # (batched vs. tuple-at-a-time join throughput on the EC1 chain — the

@@ -17,6 +17,19 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
+# Fast-fail gate: the EC4/EC5 golden + differential suites (star-schema and
+# cyclic-join workloads, exact row order, batched-vs-legacy oracle, thread
+# invariance) run first and explicitly in both thread tiers — they are also
+# part of the full `cargo test -q` runs below, but failing them early makes
+# a workload regression obvious before the whole tier finishes.
+for t in 1 4; do
+  echo "==> CNB_THREADS=$t EC4/EC5 golden + differential suites"
+  CNB_THREADS=$t cargo test -q -p cnb-workloads --test ec4_star --test ec5_cyclic --test workload_suite
+  CNB_THREADS=$t cargo test -q --test property_based -- \
+    parallel_backchase_differential_ec4 parallel_backchase_differential_ec5 \
+    cost_observation_feedback_matches_arithmetic_mean
+done
+
 echo "==> CNB_THREADS=1 cargo test -q   (sequential backchase)"
 CNB_THREADS=1 cargo test -q
 

@@ -10,7 +10,7 @@
 
 use chase_too_far::core::prelude::{chase_and_backchase, BackchaseConfig};
 use chase_too_far::ir::prelude::*;
-use chase_too_far::workloads::{Ec1, Ec2, Ec3};
+use chase_too_far::workloads::{Ec1, Ec2, Ec3, Ec4, Ec5, Workload};
 
 /// Display → parse → canonical_key is the identity on a query.
 fn assert_query_roundtrip(label: &str, q: &Query) {
@@ -66,6 +66,70 @@ fn ec3_queries_and_constraints_roundtrip() {
     for c in &ec3.schema().all_constraints() {
         assert_constraint_roundtrip("ec3", c);
     }
+}
+
+#[test]
+fn ec4_queries_and_constraints_roundtrip() {
+    let ec4 = Ec4::new(3, 2, 1);
+    assert_query_roundtrip("ec4", &Workload::query(&ec4));
+    for c in &ec4.schema().all_constraints() {
+        assert_constraint_roundtrip("ec4", c);
+    }
+}
+
+#[test]
+fn ec5_queries_and_constraints_roundtrip() {
+    let ec5 = Ec5::new(4, true, true);
+    assert_query_roundtrip("ec5-cycle", &ec5.cycle_query());
+    assert_query_roundtrip("ec5-clique", &ec5.clique_query(4));
+    assert_query_roundtrip("ec5-path", &ec5.path_query(3));
+    for c in &ec5.schema().all_constraints() {
+        assert_constraint_roundtrip("ec5", c);
+    }
+}
+
+/// End to end on EC5: the triangle query written in the surface syntax,
+/// optimized under parser-round-tripped wedge-view constraints, yields
+/// exactly the plans of the programmatically built twin — the full
+/// parse → chase → backchase pipeline on the new workload.
+#[test]
+fn parsed_triangle_drives_chase_and_backchase() {
+    let parsed_q = parse_query(
+        "select struct(N1 = e1.S, N2 = e2.S, N3 = e3.S) \
+         from E e1, E e2, E e3 \
+         where e1.T = e2.S and e2.T = e3.S and e3.T = e1.S",
+    )
+    .expect("surface triangle parses");
+
+    let ec5 = Ec5::triangle();
+    let built_q = ec5.cycle_query();
+    assert_eq!(parsed_q.canonical_key(), built_q.canonical_key());
+
+    let constraints: Vec<Constraint> = ec5
+        .schema()
+        .all_constraints()
+        .iter()
+        .map(|c| parse_constraint(&c.name, &c.to_string()).expect("constraint parses"))
+        .collect();
+
+    let cfg = BackchaseConfig::default();
+    let from_parsed = chase_and_backchase(&parsed_q, &constraints, &cfg);
+    let from_built = chase_and_backchase(&built_q, &ec5.schema().all_constraints(), &cfg);
+    assert!(!from_parsed.timed_out);
+    assert_eq!(from_parsed.plans.len(), from_built.plans.len());
+    assert_eq!(from_parsed.explored, from_built.explored);
+    let texts = |r: &chase_too_far::core::prelude::BackchaseResult| -> Vec<String> {
+        r.plans.iter().map(|p| p.query.to_string()).collect()
+    };
+    assert_eq!(texts(&from_parsed), texts(&from_built));
+    // The wedge rewrite survives the parser route too.
+    assert!(
+        from_parsed
+            .plans
+            .iter()
+            .any(|p| p.query.to_string().contains("W ")),
+        "no wedge plan from the parsed query"
+    );
 }
 
 /// End to end: a query written in the surface syntax, optimized under

@@ -425,6 +425,134 @@ fn parallel_backchase_differential_random() {
     });
 }
 
+/// Differential suite, star-schema half: random EC4 configurations
+/// (dimensions, materialized fact–dim views, FK indexes) behave identically
+/// at 1/2/4/8 threads.
+#[test]
+fn parallel_backchase_differential_ec4() {
+    cases("parallel_backchase_differential_ec4", 6, |rng| {
+        let dims = rng.gen_range(2usize..4);
+        let views = rng.gen_range(0usize..dims.min(2) + 1);
+        let indexed = rng.gen_range(0usize..2);
+        let ec4 = chase_too_far::workloads::Ec4::new(dims, views, indexed);
+        assert_thread_invariant(&ec4.query(), &ec4.schema().all_constraints(), "ec4");
+    });
+}
+
+/// Differential suite, cyclic half: random EC5 configurations (triangle or
+/// 4-cycle, wedge view on/off, source index on triangles) behave
+/// identically at 1/2/4/8 threads.
+#[test]
+fn parallel_backchase_differential_ec5() {
+    cases("parallel_backchase_differential_ec5", 6, |rng| {
+        let cycle = rng.gen_range(3usize..5);
+        let wedge = rng.gen_bool(0.7);
+        // The source index doubles the universal plan's per-edge bindings;
+        // keep it to triangles so debug-mode cases stay fast.
+        let index = cycle == 3 && rng.gen_bool(0.5);
+        let ec5 = chase_too_far::workloads::Ec5::new(cycle, wedge, index);
+        assert_thread_invariant(&ec5.cycle_query(), &ec5.schema().all_constraints(), "ec5");
+    });
+}
+
+// ------------------------------------------------ Cost model feedback --
+
+/// Observation feedback on `cnb_core::cost::CostModel`, seeded by real
+/// `ExecStats` from the EC4/EC5 workloads: measured collection
+/// cardinalities replace estimates exactly; the first join-selectivity
+/// sample replaces the static default; subsequent samples fold in as a
+/// running mean that must equal the arithmetic mean of everything observed;
+/// and the sample counters track the feed.
+#[test]
+fn cost_observation_feedback_matches_arithmetic_mean() {
+    use chase_too_far::core::prelude::CostModel;
+    use chase_too_far::engine::feed_cost_model;
+    use chase_too_far::workloads::{DataScale, Ec4, Ec5, Workload};
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    cases(
+        "cost_observation_feedback_matches_arithmetic_mean",
+        8,
+        |rng| {
+            let star = rng.gen_bool(0.5);
+            let (w, anchor): (Box<dyn Workload>, Symbol) = if star {
+                (Box::new(Ec4::new(rng.gen_range(2usize..4), 1, 0)), sym("F"))
+            } else {
+                (Box::new(Ec5::triangle()), sym("E"))
+            };
+            let scale = DataScale::new(rng.gen_range(60usize..140), rng.next_u64());
+            let db = w.generate_at(scale);
+            let q = w.query();
+
+            // Harvest stats from the original query plus a few generated plans.
+            let mut all_stats = vec![execute(&db, &q).unwrap().stats];
+            for p in w.optimize().plans.iter().take(3) {
+                all_stats.push(execute(&db, &p.query).unwrap().stats);
+            }
+
+            // Cardinality feedback is exact replacement, and the main
+            // collection's measured size is the generated table's size.
+            let mut model = CostModel::default();
+            feed_cost_model(&all_stats[0], &mut model);
+            for (name, card) in all_stats[0].observed_cardinalities() {
+                assert_eq!(model.cardinalities.get(&name), Some(&card), "{name}");
+            }
+            assert_eq!(
+                model.cardinalities.get(&anchor),
+                Some(&(db.table(anchor).len() as f64)),
+                "anchor table cardinality must be measured exactly"
+            );
+
+            // Selectivity feedback: replay the same samples by hand and compare
+            // against the arithmetic mean.
+            let sels: Vec<f64> = all_stats
+                .iter()
+                .flat_map(|s| s.observed_join_selectivities())
+                .map(|s| s.clamp(1e-9, 1.0))
+                .collect();
+            let mut model = CostModel::default();
+            let default_sel = model.join_selectivity;
+            for (i, &s) in sels.iter().enumerate() {
+                model.observe_join_selectivity(s);
+                if i == 0 {
+                    assert_eq!(
+                        model.join_selectivity, s,
+                        "first sample must replace the default, not average with it"
+                    );
+                }
+            }
+            assert_eq!(model.selectivity_samples, sels.len());
+            if sels.is_empty() {
+                assert_eq!(model.join_selectivity, default_sel);
+            } else {
+                let m = mean(&sels);
+                assert!(
+                    (model.join_selectivity - m).abs() <= 1e-12 + 1e-9 * m,
+                    "running mean {} != arithmetic mean {m}",
+                    model.join_selectivity
+                );
+            }
+
+            // Fan-out feedback obeys the same algebra on arbitrary samples.
+            let fans: Vec<f64> = (0..rng.gen_range(1usize..12))
+                .map(|_| rng.gen_f64() * 8.0)
+                .collect();
+            let mut model = CostModel::default();
+            model.observe_fanout(fans[0]);
+            assert_eq!(model.fanout, fans[0], "first sample replaces the default");
+            for &f in &fans[1..] {
+                model.observe_fanout(f);
+            }
+            assert_eq!(model.fanout_samples, fans.len());
+            let m = mean(&fans);
+            assert!(
+                (model.fanout - m).abs() <= 1e-12 + 1e-9 * m,
+                "running mean {} != arithmetic mean {m}",
+                model.fanout
+            );
+        },
+    );
+}
+
 // ---------------------------------------------------- Query invariants --
 
 /// A random chain of 1..4 bindings over R0..R3 with random equalities and
