@@ -1,0 +1,63 @@
+//! `cnb-analyze` — the workspace's static-analysis gate.
+//!
+//! ```text
+//! cnb-analyze lint [root]      # determinism lint over crates/{core,engine,ir,workloads}
+//! cnb-analyze validate-suite   # semantic validation of every workload + emitted plan
+//! ```
+//!
+//! Exits nonzero on any finding; `scripts/check.sh` runs both modes as the
+//! `==> cnb-analyze` tier and `scripts/bench_record.sh` refuses to record
+//! numbers while either fails.
+
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use cnb_analyze::lint::lint_workspace;
+use cnb_analyze::suite::validate_suite;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: cnb-analyze <lint [root] | validate-suite>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => {
+            let root = args.get(1).map(String::as_str).unwrap_or(".");
+            match lint_workspace(Path::new(root)) {
+                Ok(violations) if violations.is_empty() => {
+                    println!("cnb-analyze lint: clean");
+                    ExitCode::SUCCESS
+                }
+                Ok(violations) => {
+                    for v in &violations {
+                        eprintln!("{v}");
+                    }
+                    eprintln!("cnb-analyze lint: {} violation(s)", violations.len());
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("cnb-analyze lint: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("validate-suite") => match validate_suite() {
+            Ok(report) => {
+                for line in report {
+                    println!("{line}");
+                }
+                println!("cnb-analyze validate-suite: ok");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cnb-analyze validate-suite: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => usage(),
+    }
+}

@@ -1,0 +1,40 @@
+//! # cnb-analyze — static analysis for the C&B workspace
+//!
+//! The repo's two load-bearing properties — chase termination for the
+//! paper's path-conjunctive constraint class and byte-identical determinism
+//! at every thread count — were historically enforced only *dynamically*
+//! (differential suites, a two-process stdout diff in `scripts/check.sh`).
+//! This crate proves what can be proven statically, in two prongs:
+//!
+//! - [`validate`]: a semantic validator over the IR. Queries (every
+//!   head/SELECT variable bound, range well-formedness), constraints (TGD
+//!   frontier discipline, EGD bound terms, arity/schema agreement via the
+//!   typechecker), constraint *sets* (a position-level weak-acyclicity
+//!   firing-graph check that certifies chase termination), and physical
+//!   plans (binding-order soundness plus join-connectivity analysis that
+//!   rejects cross-product shapes statically).
+//! - [`lint`]: an offline, dependency-free source scanner that denies the
+//!   nondeterminism hazards — `std::collections::{HashMap,HashSet}` (use
+//!   `cnb_core::fxhash` instead), wall-clock reads outside sanctioned
+//!   timing code, and thread-identity leaks — with a
+//!   `// cnb-lint: allow(<rule>)` escape hatch.
+//!
+//! Both prongs run as the `==> cnb-analyze` tier of `scripts/check.sh` via
+//! the `cnb-analyze` binary (`lint` and `validate-suite` modes).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lint;
+pub mod suite;
+pub mod validate;
+
+/// One-stop imports.
+pub mod prelude {
+    pub use crate::lint::{lint_source, lint_workspace, LintViolation, LINT_RULES};
+    pub use crate::suite::validate_suite;
+    pub use crate::validate::{
+        join_components, validate_constraint, validate_constraint_set, validate_plan,
+        validate_query, ValidateError,
+    };
+}

@@ -1,0 +1,303 @@
+//! The determinism lint: an offline, dependency-free source scanner.
+//!
+//! Byte-identical output at every thread count is a repo-level invariant,
+//! and the cheapest way to lose it is an innocent-looking
+//! `std::collections::HashMap` (SipHash with a random key — iteration
+//! order changes per process) or an ad-hoc wall-clock read feeding a
+//! decision. This lint scans `crates/{core,engine,ir,workloads}` and
+//! denies:
+//!
+//! | rule           | pattern                                | use instead                         |
+//! |----------------|----------------------------------------|-------------------------------------|
+//! | `std-hash-map` | `HashMap` / `HashSet`                  | `cnb_core::fxhash` maps             |
+//! | `wall-clock`   | `Instant::now` / `SystemTime::now`     | `cnb_bench` timing paths, annotated |
+//! | `thread-id`    | `thread::current`                      | nothing — logic must not know       |
+//!
+//! A line (or the standalone comment line directly above it) may carry
+//! `// cnb-lint: allow(<rule>)` to suppress a rule where the use is
+//! sanctioned — the `fxhash` definition site, deadline checks that never
+//! influence emitted plans, and the bench crate's own timing code.
+//! Comments are stripped before matching, so prose about `HashMap` in
+//! docs does not trip the scanner.
+//!
+//! The scanner is line-based on purpose: no parser, no dependencies, and
+//! robust to the subset of Rust this workspace uses. It does not see
+//! through block comments or string literals; both are absent from the
+//! denied patterns' plausible uses here, and the self-test pins the
+//! behavior.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The lint rules, in reporting order.
+pub const LINT_RULES: [&str; 3] = ["std-hash-map", "wall-clock", "thread-id"];
+
+/// The crates the determinism contract covers. `cnb-bench` is excluded:
+/// measuring wall time is its job. `cnb-analyze` itself never runs inside
+/// the optimizer and is likewise out of scope.
+const SCANNED_CRATES: [&str; 4] = [
+    "crates/core",
+    "crates/engine",
+    "crates/ir",
+    "crates/workloads",
+];
+
+/// One denied pattern occurrence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LintViolation {
+    /// File the violation is in (as given to the scanner).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which of [`LINT_RULES`] fired.
+    pub rule: &'static str,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl std::fmt::Display for LintViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: denied [{}]: {}",
+            self.file, self.line, self.rule, self.snippet
+        )
+    }
+}
+
+/// The needles per rule. Built by concatenation at runtime so this file
+/// never contains its own denied patterns as literals (the scanner must
+/// stay self-clean if it is ever pointed at itself).
+fn needles() -> Vec<(&'static str, Vec<String>)> {
+    let h = "Hash";
+    let now = "::now";
+    vec![
+        ("std-hash-map", vec![format!("{h}Map"), format!("{h}Set")]),
+        (
+            "wall-clock",
+            vec![format!("Instant{now}"), format!("SystemTime{now}")],
+        ),
+        ("thread-id", vec![format!("thread{}current", "::")]),
+    ]
+}
+
+/// True if `needle` occurs in `code` at an identifier boundary (the
+/// preceding character is not alphanumeric or `_`, so `FxHashMap` does
+/// not match the `HashMap` needle).
+fn contains_token(code: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(i) = code[start..].find(needle) {
+        let at = start + i;
+        let boundary = at == 0
+            || !code[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_');
+        if boundary {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+/// The rules allowed by a `cnb-lint: allow(...)` annotation in `comment`.
+fn allows_in(comment: &str) -> Vec<&'static str> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(i) = rest.find("cnb-lint: allow(") {
+        let after = &rest[i + "cnb-lint: allow(".len()..];
+        if let Some(end) = after.find(')') {
+            let name = after[..end].trim();
+            if let Some(rule) = LINT_RULES.iter().find(|r| **r == name) {
+                out.push(*rule);
+            }
+            rest = &after[end..];
+        } else {
+            break;
+        }
+    }
+    out
+}
+
+/// Scans one source text. `file` is used only for reporting.
+pub fn lint_source(file: &str, content: &str) -> Vec<LintViolation> {
+    let rules = needles();
+    let mut out = Vec::new();
+    // Allow-annotations on a standalone comment line apply to the next line.
+    let mut carried_allows: Vec<&'static str> = Vec::new();
+    for (idx, raw) in content.lines().enumerate() {
+        let (code, comment) = match raw.find("//") {
+            Some(i) => (&raw[..i], &raw[i..]),
+            None => (raw, ""),
+        };
+        let mut allowed = allows_in(comment);
+        allowed.extend(carried_allows.iter().copied());
+        carried_allows = if code.trim().is_empty() {
+            allows_in(comment)
+        } else {
+            Vec::new()
+        };
+        for (rule, ns) in &rules {
+            if allowed.contains(rule) {
+                continue;
+            }
+            if ns.iter().any(|n| contains_token(code, n)) {
+                out.push(LintViolation {
+                    file: file.to_string(),
+                    line: idx + 1,
+                    rule,
+                    snippet: raw.trim().to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for deterministic
+/// reporting.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            // `target/` never appears under crate source dirs, but guard
+            // anyway — stale build output must not produce findings.
+            if path.file_name().is_some_and(|n| n == "target") {
+                continue;
+            }
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the determinism-covered crates under the workspace root `root`
+/// (the directory containing `crates/`). Missing crate directories are
+/// an error: a silently-skipped crate would read as clean.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<LintViolation>> {
+    let mut files = Vec::new();
+    for rel in SCANNED_CRATES {
+        let dir = root.join(rel);
+        if !dir.is_dir() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{} not found under {}", rel, root.display()),
+            ));
+        }
+        rust_files(&dir, &mut files)?;
+    }
+    let mut out = Vec::new();
+    for f in files {
+        let content = fs::read_to_string(&f)?;
+        let name = f
+            .strip_prefix(root)
+            .unwrap_or(&f)
+            .to_string_lossy()
+            .into_owned();
+        out.extend(lint_source(&name, &content));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a line containing a denied pattern without this test file
+    /// itself containing it.
+    fn seeded(rule: &str) -> String {
+        match rule {
+            "std-hash-map" => format!("    let m: {}Map<u32, u32> = Default::default();", "Hash"),
+            "wall-clock" => format!("    let t0 = Instant{}now();", "::"),
+            "thread-id" => format!("    let id = thread{}current().id();", "::"),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn every_rule_fires_on_a_seeded_violation() {
+        for rule in LINT_RULES {
+            let src = format!("fn f() {{\n{}\n}}\n", seeded(rule));
+            let found = lint_source("seed.rs", &src);
+            assert_eq!(found.len(), 1, "{rule}: {found:?}");
+            assert_eq!(found[0].rule, rule);
+            assert_eq!(found[0].line, 2);
+        }
+    }
+
+    #[test]
+    fn hash_set_variant_fires_too() {
+        let src = format!("use std::collections::{}Set;\n", "Hash");
+        let found = lint_source("seed.rs", &src);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, "std-hash-map");
+    }
+
+    #[test]
+    fn fx_aliases_do_not_fire() {
+        let src = format!(
+            "use cnb_core::fxhash::{{Fx{h}Map, Fx{h}Set}};\nlet m: Fx{h}Map<u8, u8> = Fx{h}Map::default();\n",
+            h = "Hash"
+        );
+        assert!(lint_source("ok.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let src = format!("// std {}Map is denied in prose too? no.\n", "Hash");
+        assert!(lint_source("ok.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn same_line_allow_suppresses() {
+        let src = format!(
+            "{} // cnb-lint: allow(std-hash-map)\n",
+            seeded("std-hash-map")
+        );
+        assert!(lint_source("ok.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn preceding_comment_line_allow_suppresses() {
+        let src = format!("// cnb-lint: allow(wall-clock)\n{}\n", seeded("wall-clock"));
+        assert!(lint_source("ok.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn allow_does_not_leak_past_one_line() {
+        let src = format!(
+            "// cnb-lint: allow(wall-clock)\n{}\n{}\n",
+            seeded("wall-clock"),
+            seeded("wall-clock")
+        );
+        let found = lint_source("leak.rs", &src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 3);
+    }
+
+    #[test]
+    fn allow_of_wrong_rule_does_not_suppress() {
+        let src = format!(
+            "{} // cnb-lint: allow(wall-clock)\n",
+            seeded("std-hash-map")
+        );
+        assert_eq!(lint_source("bad.rs", &src).len(), 1);
+    }
+
+    #[test]
+    fn violation_display_is_greppable() {
+        let found = lint_source("x.rs", &format!("fn f() {{ {} }}\n", seeded("thread-id")));
+        let shown = found[0].to_string();
+        assert!(shown.contains("x.rs:1"), "{shown}");
+        assert!(shown.contains("thread-id"), "{shown}");
+    }
+}

@@ -1,0 +1,58 @@
+//! Suite-wide validation: every registered workload, end to end.
+//!
+//! For each `Workload` in `cnb_workloads::suite()` this validates the
+//! schema (every semantic constraint and skeleton direction, plus the
+//! weak-acyclicity termination check over the full constraint set), the
+//! central query, and then *runs the optimizer* and validates every
+//! backchase-emitted plan — binding order and join connectivity included.
+//! This is the static half of the plan/execution agreement suites: a plan
+//! that validates here may still be wrong, but a plan that fails here
+//! would have been wrong at runtime.
+
+use cnb_workloads::suite;
+
+use crate::validate::{validate_plan, validate_query, validate_schema, ValidateError};
+
+/// Validates every suite workload and every plan its optimization emits.
+/// Returns one human-readable report line per workload, or the first
+/// failure (wrapped with the workload and plan it came from).
+pub fn validate_suite() -> Result<Vec<String>, String> {
+    let mut report = Vec::new();
+    for w in suite() {
+        let name = w.name();
+        let schema = w.schema();
+        validate_schema(&schema).map_err(|e| format!("{name}: schema: {e}"))?;
+        let q = w.query();
+        validate_query(&schema, &q).map_err(|e| format!("{name}: query: {e}"))?;
+        let result = w.optimize();
+        if result.plans.is_empty() {
+            return Err(format!("{name}: optimizer emitted no plans"));
+        }
+        for (i, p) in result.plans.iter().enumerate() {
+            validate_plan(&schema, &p.query).map_err(|e: ValidateError| {
+                format!("{name}: plan {i} invalid: {e}\n{}", p.query)
+            })?;
+        }
+        report.push(format!(
+            "{name}: schema + query + {} plans valid",
+            result.plans.len()
+        ));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The tentpole's suite-wide guarantee: every workload in `suite()`
+    /// and every backchase-emitted plan validates.
+    #[test]
+    fn every_suite_workload_and_plan_validates() {
+        let report = validate_suite().unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(report.len(), 5, "{report:?}");
+        for line in &report {
+            assert!(line.contains("valid"), "{line}");
+        }
+    }
+}

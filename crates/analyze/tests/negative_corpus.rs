@@ -1,0 +1,188 @@
+//! The negative-case corpus: one deliberately broken input per validator
+//! discipline, each pinned to the *specific* [`ValidateError`] variant and
+//! message the ISSUE's acceptance criteria name. These are the cases the
+//! chase literature (and PR 5's runtime history) says actually bite:
+//! unbound head variables, premises leaking existential variables,
+//! arity/schema disagreement, cross-product plan shapes, and constraint
+//! sets whose firing graph lets the chase diverge.
+
+use cnb_analyze::prelude::*;
+use cnb_ir::prelude::*;
+
+/// A two-relation schema shared by the query-level cases.
+fn schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_relation("R", [(sym("K"), Type::Int), (sym("N"), Type::Int)]);
+    s.add_relation("S", [(sym("K"), Type::Int), (sym("B"), Type::Int)]);
+    s
+}
+
+#[test]
+fn unbound_head_variable_is_rejected() {
+    let s = schema();
+    let mut q = Query::new();
+    let r = q.bind("r", Range::Name(sym("R")));
+    q.output("K", PathExpr::from(r).dot("K"));
+    // A head term over a variable no from-clause entry introduces.
+    q.output("X", PathExpr::from(Var(99)).dot("N"));
+    let err = validate_query(&s, &q).unwrap_err();
+    match &err {
+        ValidateError::UnboundVariable { context, detail } => {
+            assert!(context.contains("select-clause"), "{err}");
+            assert!(detail.contains("$99"), "{err}");
+        }
+        other => panic!("expected UnboundVariable, got {other:?}"),
+    }
+    assert!(err.to_string().contains("unbound variable"), "{err}");
+}
+
+#[test]
+fn forward_range_reference_is_rejected() {
+    let s = schema();
+    let mut q = Query::new();
+    // `r` ranges over a path through `k`, but `k` is bound *after* it.
+    let k = Var(1);
+    q.from.push(Binding {
+        var: Var(0),
+        name: Symbol::new("r"),
+        range: Range::Expr(PathExpr::from(k).dot("N")),
+    });
+    q.from.push(Binding {
+        var: k,
+        name: Symbol::new("k"),
+        range: Range::Name(sym("R")),
+    });
+    q.output("K", PathExpr::from(k).dot("K"));
+    let err = validate_query(&s, &q).unwrap_err();
+    match &err {
+        ValidateError::ForwardRangeReference { binding, .. } => {
+            assert_eq!(binding, "r", "{err}");
+        }
+        other => panic!("expected ForwardRangeReference, got {other:?}"),
+    }
+    assert!(err.to_string().contains("bound later"), "{err}");
+}
+
+#[test]
+fn premise_referencing_existential_variable_is_rejected() {
+    let s = schema();
+    let mut c = Constraint::new("bad_premise");
+    let r = c.forall("r", Range::Name(sym("R")));
+    let x = c.exists("x", Range::Name(sym("S")));
+    // The premise must be a condition over the universal part only; here it
+    // leaks the existential witness.
+    c.given(PathExpr::from(r).dot("K"), PathExpr::from(x).dot("K"));
+    c.then(PathExpr::from(r).dot("N"), PathExpr::from(x).dot("B"));
+    let err = validate_constraint(&s, &c).unwrap_err();
+    match &err {
+        ValidateError::PremiseNotUniversal { constraint, detail } => {
+            assert_eq!(constraint, "bad_premise", "{err}");
+            assert!(detail.contains("non-universal variable"), "{err}");
+        }
+        other => panic!("expected PremiseNotUniversal, got {other:?}"),
+    }
+}
+
+#[test]
+fn conclusion_referencing_unbound_variable_is_rejected() {
+    let s = schema();
+    let mut c = Constraint::new("bad_conclusion");
+    let r = c.forall("r", Range::Name(sym("R")));
+    // An EGD equating a bound term with a term over a variable neither
+    // quantifier introduces.
+    c.then(PathExpr::from(r).dot("K"), PathExpr::from(Var(7)).dot("K"));
+    let err = validate_constraint(&s, &c).unwrap_err();
+    match &err {
+        ValidateError::UnboundConclusionTerm { constraint, detail } => {
+            assert_eq!(constraint, "bad_conclusion", "{err}");
+            assert!(detail.contains("$7"), "{err}");
+        }
+        other => panic!("expected UnboundConclusionTerm, got {other:?}"),
+    }
+}
+
+#[test]
+fn arity_mismatch_is_rejected_by_the_typechecker() {
+    let s = schema();
+    let mut q = Query::new();
+    let r = q.bind("r", Range::Name(sym("R")));
+    // R has no attribute "Z": schema disagreement, caught by typecheck.
+    q.output("Z", PathExpr::from(r).dot("Z"));
+    let err = validate_query(&s, &q).unwrap_err();
+    match &err {
+        ValidateError::Type { detail } => {
+            assert!(detail.contains('Z'), "{err}");
+        }
+        other => panic!("expected Type, got {other:?}"),
+    }
+}
+
+#[test]
+fn disconnected_plan_is_rejected() {
+    let s = schema();
+    let mut q = Query::new();
+    let r = q.bind("r", Range::Name(sym("R")));
+    let t = q.bind("t", Range::Name(sym("S")));
+    // No equality links r and t: the classic cross-product shape.
+    q.output("K", PathExpr::from(r).dot("K"));
+    q.output("B", PathExpr::from(t).dot("B"));
+    assert_eq!(join_components(&q), 2);
+    // As a *query* it is legal (the engine can evaluate it) ...
+    validate_query(&s, &q).expect("cartesian query is well-formed");
+    // ... but as an optimizer-emitted *plan* it is rejected.
+    let err = validate_plan(&s, &q).unwrap_err();
+    match &err {
+        ValidateError::DisconnectedPlan { components } => {
+            assert_eq!(*components, 2, "{err}");
+        }
+        other => panic!("expected DisconnectedPlan, got {other:?}"),
+    }
+    assert!(err.to_string().contains("cross product"), "{err}");
+}
+
+#[test]
+fn diverging_constraint_cycle_is_rejected_as_non_terminating() {
+    let s = schema();
+    // R.K ⊆ S.K and S.B ⊆ R.N: each inclusion invents fresh values for the
+    // attributes the other's frontier reads — the firing graph has a cycle
+    // through a special (null-creating) edge, so the chase may not
+    // terminate.
+    let mut fwd = Constraint::new("r_into_s");
+    let r = fwd.forall("r", Range::Name(sym("R")));
+    let x = fwd.exists("x", Range::Name(sym("S")));
+    fwd.then(PathExpr::from(r).dot("K"), PathExpr::from(x).dot("K"));
+    let mut bwd = Constraint::new("s_into_r");
+    let t = bwd.forall("t", Range::Name(sym("S")));
+    let y = bwd.exists("y", Range::Name(sym("R")));
+    bwd.then(PathExpr::from(t).dot("B"), PathExpr::from(y).dot("N"));
+    let err = validate_constraint_set(&s, &[fwd, bwd]).unwrap_err();
+    match &err {
+        ValidateError::NonTerminating { cycle } => {
+            assert!(cycle.contains("special edge"), "{err}");
+            assert!(cycle.contains("cycle"), "{err}");
+        }
+        other => panic!("expected NonTerminating, got {other:?}"),
+    }
+    assert!(err.to_string().contains("may not terminate"), "{err}");
+}
+
+#[test]
+fn terminating_variants_of_the_corpus_pass() {
+    // Control group: the same shapes, repaired, validate cleanly — the
+    // corpus rejections above are not false positives of an always-failing
+    // validator.
+    let s = schema();
+    let mut q = Query::new();
+    let r = q.bind("r", Range::Name(sym("R")));
+    let t = q.bind("t", Range::Name(sym("S")));
+    q.equate(PathExpr::from(r).dot("N"), PathExpr::from(t).dot("K"));
+    q.output("K", PathExpr::from(r).dot("K"));
+    validate_plan(&s, &q).expect("connected, well-typed plan");
+
+    let mut fk = Constraint::new("r_n_into_s_k");
+    let rv = fk.forall("r", Range::Name(sym("R")));
+    let xv = fk.exists("x", Range::Name(sym("S")));
+    fk.then(PathExpr::from(rv).dot("N"), PathExpr::from(xv).dot("K"));
+    validate_constraint(&s, &fk).expect("well-formed RIC");
+    validate_constraint_set(&s, &[fk]).expect("a single FK terminates");
+}

@@ -1,0 +1,32 @@
+//! Pins the repo's own cleanliness: the determinism lint, run over this
+//! workspace's real sources, finds nothing. If a `std::collections`
+//! HashMap or an unannotated wall-clock read ever lands in
+//! `crates/{core,engine,ir,workloads}`, this test is the tier that says so.
+
+use std::path::Path;
+
+use cnb_analyze::lint::lint_workspace;
+
+#[test]
+fn determinism_lint_is_clean_on_this_workspace() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let violations = lint_workspace(root).expect("scan the workspace");
+    assert!(
+        violations.is_empty(),
+        "determinism lint found violations:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn missing_crate_directory_is_an_error_not_a_clean_pass() {
+    let err = lint_workspace(Path::new("/nonexistent-cnb-root")).unwrap_err();
+    assert!(err.to_string().contains("not found"), "{err}");
+}

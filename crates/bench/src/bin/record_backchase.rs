@@ -8,6 +8,9 @@
 //! `micro.execution` (batched vs. tuple-at-a-time join throughput on the
 //! EC1 chain workload — the batched path must not be slower).
 
+// Measuring wall time is this binary's job (see clippy.toml).
+#![allow(clippy::disallowed_methods)]
+
 use std::time::Instant;
 
 use cnb_core::prelude::*;

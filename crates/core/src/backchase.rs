@@ -130,7 +130,18 @@ pub fn chase_and_backchase(
     constraints: &[Constraint],
     cfg: &BackchaseConfig,
 ) -> BackchaseResult {
-    let start = Instant::now();
+    debug_assert!(
+        q0.validate().is_ok(),
+        "chase_and_backchase called with ill-formed query: {:?}",
+        q0.validate()
+    );
+    debug_assert!(
+        constraints.iter().all(|c| c.validate().is_ok()),
+        "chase_and_backchase called with an ill-formed constraint"
+    );
+    // Timing is reported in stats only; it never influences the search.
+    #[allow(clippy::disallowed_methods)]
+    let start = Instant::now(); // cnb-lint: allow(wall-clock)
     let mut udb = CanonDb::new(q0);
     let chase_stats = chase(&mut udb, constraints, cfg.chase);
     let chase_time = start.elapsed();
@@ -152,7 +163,19 @@ pub fn backchase(
     mut udb: CanonDb,
     cfg: &BackchaseConfig,
 ) -> BackchaseResult {
-    let start = Instant::now();
+    debug_assert!(
+        q0.validate().is_ok(),
+        "backchase called with ill-formed query: {:?}",
+        q0.validate()
+    );
+    debug_assert!(
+        constraints.iter().all(|c| c.validate().is_ok()),
+        "backchase called with an ill-formed constraint"
+    );
+    // Deadline checks only ever truncate the search and set `timed_out`;
+    // with no timeout configured (the deterministic suites) they are inert.
+    #[allow(clippy::disallowed_methods)]
+    let start = Instant::now(); // cnb-lint: allow(wall-clock)
     let deadline = cfg.timeout.map(|t| start + t);
     let mut result = BackchaseResult {
         universal_arity: udb.query.from.len(),
@@ -264,7 +287,9 @@ fn parallel_verdicts(
 
         let chunk = parallel::WorkQueue::balanced_chunk(wave.len(), threads);
         let verdicts = parallel::map_chunked_with(&mut workers, wave.len(), chunk, |w, i| {
+            #[allow(clippy::disallowed_methods)]
             if let Some(d) = deadline {
+                // cnb-lint: allow(wall-clock)
                 if Instant::now() >= d {
                     return None;
                 }
@@ -370,7 +395,9 @@ impl Search<'_, '_> {
         if let Some(&v) = self.equiv_memo.get(s) {
             return Some(v);
         }
+        #[allow(clippy::disallowed_methods)]
         if let Some(d) = self.deadline {
+            // cnb-lint: allow(wall-clock)
             if Instant::now() >= d {
                 self.result.timed_out = true;
                 return None;

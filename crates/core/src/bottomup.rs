@@ -10,7 +10,7 @@
 //! a first plan, then bottom-up with its cost as the initial bound — which
 //! is what [`bottom_up_backchase`] does when given a `seed_bound`.
 
-use std::collections::HashSet;
+use crate::fxhash::FxHashSet;
 use std::time::Instant;
 
 use cnb_ir::prelude::{Constraint, Query};
@@ -34,7 +34,10 @@ pub fn bottom_up_backchase(
     model: &CostModel,
     seed_bound: Option<f64>,
 ) -> BackchaseResult {
-    let start = Instant::now();
+    // Stats-only timing plus an optional deadline; neither affects plan
+    // content when no timeout is configured.
+    #[allow(clippy::disallowed_methods)]
+    let start = Instant::now(); // cnb-lint: allow(wall-clock)
     let mut udb = CanonDb::new(q0);
     let chase_stats = chase(&mut udb, constraints, cfg.chase);
     let chase_time = start.elapsed();
@@ -62,12 +65,14 @@ pub fn bottom_up_backchase(
     // Frontier of current-size candidate subsets (as sorted index vectors).
     let mut frontier: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
     let mut found_sets: Vec<VarSet> = Vec::new();
-    let mut seen: HashSet<Vec<usize>> = HashSet::new();
+    let mut seen: FxHashSet<Vec<usize>> = FxHashSet::default();
 
     while !frontier.is_empty() {
         let mut next: Vec<Vec<usize>> = Vec::new();
         for subset in frontier.drain(..) {
+            #[allow(clippy::disallowed_methods)]
             if let Some(d) = deadline {
+                // cnb-lint: allow(wall-clock)
                 if Instant::now() >= d {
                     result.timed_out = true;
                     result.backchase_time = start.elapsed() - chase_time;
@@ -79,7 +84,7 @@ pub fn bottom_up_backchase(
             if found_sets.iter().any(|f| f.is_subset(&keep)) {
                 continue;
             }
-            let grow = |next: &mut Vec<Vec<usize>>, seen: &mut HashSet<Vec<usize>>| {
+            let grow = |next: &mut Vec<Vec<usize>>, seen: &mut FxHashSet<Vec<usize>>| {
                 let last = *subset.last().expect("nonempty");
                 for j in last + 1..n {
                     let mut bigger = subset.clone();

@@ -164,12 +164,9 @@ impl CanonDb {
 
 /// Substitutes constraint variables through a mapping, leaving unmapped
 /// variables untouched (they must not occur for the result to be meaningful).
-/// Generic over the map's hasher so both plain and [`crate::fxhash`] maps
-/// (e.g. [`crate::homomorphism::HomMap`]) work.
-pub fn substitute<S: std::hash::BuildHasher>(
-    p: &PathExpr,
-    map: &std::collections::HashMap<Var, Var, S>,
-) -> PathExpr {
+/// Takes the deterministic [`crate::fxhash`] map every caller already builds
+/// (e.g. [`crate::homomorphism::HomMap`]).
+pub fn substitute(p: &PathExpr, map: &crate::fxhash::FxHashMap<Var, Var>) -> PathExpr {
     p.map_vars(&mut |v| match map.get(&v) {
         Some(&w) => PathExpr::Var(w),
         None => PathExpr::Var(v),
@@ -242,7 +239,7 @@ mod tests {
 
     #[test]
     fn substitute_maps_vars() {
-        let mut map = std::collections::HashMap::new();
+        let mut map = crate::fxhash::FxHashMap::default();
         map.insert(Var(0), Var(5));
         let p = PathExpr::from(Var(0)).dot("A");
         assert_eq!(substitute(&p, &map), PathExpr::from(Var(5)).dot("A"));

@@ -7,7 +7,7 @@
 //! paths*; for skeleton schemas this loses no plans (Theorem 3.2), while
 //! shrinking the search space exponentially (Example 3.1's analysis).
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 
 use cnb_ir::prelude::{Equality, PathExpr, Query, Skeleton, Symbol};
 
@@ -37,7 +37,7 @@ pub struct Fragment {
 pub fn decompose(q: &Query, skeletons: &[Skeleton]) -> Vec<Fragment> {
     let mut db = CanonDb::new(q);
     let n = q.from.len();
-    let position: HashMap<_, _> = q.from.iter().enumerate().map(|(i, b)| (b.var, i)).collect();
+    let position: FxHashMap<_, _> = q.from.iter().enumerate().map(|(i, b)| (b.var, i)).collect();
 
     // Union-find over binding positions.
     let mut parent: Vec<usize> = (0..n).collect();
@@ -93,7 +93,7 @@ pub fn decompose(q: &Query, skeletons: &[Skeleton]) -> Vec<Fragment> {
     // Step 2/3: connected components; covered components become fragments,
     // uncovered ones pool into one leftover fragment (Step 4).
     let mut comp_of: Vec<usize> = (0..n).map(|i| find(&mut parent, i)).collect();
-    let mut comp_covered: HashMap<usize, bool> = HashMap::new();
+    let mut comp_covered: FxHashMap<usize, bool> = FxHashMap::default();
     for i in 0..n {
         *comp_covered.entry(comp_of[i]).or_default() |= covered[i];
     }
@@ -232,7 +232,7 @@ pub fn combine_plans(q0: &Query, fragments: &[Fragment], choice: &[&Query]) -> Q
         remapped.push(p);
     }
     // Join on link labels: equate consecutive providers.
-    let mut link_paths: HashMap<Symbol, Vec<PathExpr>> = HashMap::new();
+    let mut link_paths: FxHashMap<Symbol, Vec<PathExpr>> = FxHashMap::default();
     for (f, p) in fragments.iter().zip(&remapped) {
         for l in &f.links {
             if let Some((_, path)) = p.select.iter().find(|(sl, _)| sl == l) {

@@ -15,6 +15,7 @@
 //! scoped thread pool of [`parallel`] (`CNB_THREADS`), producing plans
 //! byte-identical to the sequential search at any thread count.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod backchase;
@@ -26,12 +27,15 @@ pub mod congruence;
 pub mod cost;
 pub mod equivalence;
 pub mod fragments;
-pub mod fxhash;
 pub mod homomorphism;
 pub mod optimizer;
 pub mod parallel;
 pub mod strata;
 pub mod subquery;
+
+// `fxhash` moved to `cnb-ir` (so the IR's own maps can use it without a
+// dependency cycle); this re-export keeps the long-standing path alive.
+pub use cnb_ir::fxhash;
 
 /// One-stop imports.
 pub mod prelude {

@@ -161,7 +161,21 @@ impl Optimizer {
 
     /// Optimizes `q` under the configured strategy.
     pub fn optimize(&self, q: &Query, cfg: &OptimizerConfig) -> OptimizeResult {
-        let start = Instant::now();
+        // Entry contract: the input query and every registered constraint
+        // must be well-formed. `cnb-analyze validate-suite` checks the
+        // deeper semantic properties offline; this guards ad-hoc callers.
+        debug_assert!(
+            q.validate().is_ok(),
+            "Optimizer::optimize called with ill-formed query: {:?}",
+            q.validate()
+        );
+        debug_assert!(
+            self.constraints.iter().all(|c| c.validate().is_ok()),
+            "Optimizer::optimize configured with an ill-formed constraint"
+        );
+        // Stats-only timing; the strategies never read the clock themselves.
+        #[allow(clippy::disallowed_methods)]
+        let start = Instant::now(); // cnb-lint: allow(wall-clock)
         let mut result = match cfg.strategy {
             Strategy::Full => self.run_full(q, cfg),
             Strategy::Oqf => self.run_oqf(q, cfg),

@@ -150,7 +150,9 @@ pub struct ExecResult {
 
 /// Executes `q` against `db` with the batched engine.
 pub fn execute(db: &Database, q: &Query) -> Result<ExecResult, EngineError> {
-    let start = Instant::now();
+    // Stats-only timing; evaluation order is fixed by the plan.
+    #[allow(clippy::disallowed_methods)]
+    let start = Instant::now(); // cnb-lint: allow(wall-clock)
     q.validate().map_err(EngineError::new)?;
     let steps = plan(db, q)?;
     let indexes = JoinIndexes::build(db, &steps);
@@ -188,7 +190,9 @@ pub fn execute(db: &Database, q: &Query) -> Result<ExecResult, EngineError> {
 /// `tests` and `benches/execution.rs` compare it against [`execute`]).
 /// It records no per-operator stats.
 pub fn execute_legacy(db: &Database, q: &Query) -> Result<ExecResult, EngineError> {
-    let start = Instant::now();
+    // Stats-only timing; evaluation order is fixed by the plan.
+    #[allow(clippy::disallowed_methods)]
+    let start = Instant::now(); // cnb-lint: allow(wall-clock)
     q.validate().map_err(EngineError::new)?;
     let steps = plan(db, q)?;
     let indexes = JoinIndexes::build(db, &steps);

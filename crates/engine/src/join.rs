@@ -60,6 +60,14 @@ pub(crate) struct Step {
 
 /// Greedy ordering + access-path selection.
 pub(crate) fn plan(db: &Database, q: &Query) -> Result<Vec<Step>, EngineError> {
+    // Binding-order soundness only: disconnected (cross-product) queries
+    // are legal here — the engine evaluates them — and are rejected
+    // earlier, by `cnb-analyze` over optimizer-emitted plans.
+    debug_assert!(
+        q.validate().is_ok(),
+        "join::plan called with ill-formed query: {:?}",
+        q.validate()
+    );
     let n = q.from.len();
     let mut placed: Vec<bool> = vec![false; n];
     let mut bound: Vec<Var> = Vec::new();

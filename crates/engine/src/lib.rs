@@ -12,6 +12,7 @@
 //! (see [`eval`]). Observed per-operator cardinalities feed back into the
 //! optimizer's cost model via [`eval::feed_cost_model`].
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;

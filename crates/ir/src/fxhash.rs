@@ -15,20 +15,31 @@
 //! hashes are identical across runs and platforms — which these maps are
 //! allowed to rely on because nothing in the optimizer *iterates* them (all
 //! enumeration happens over arena-ordered vectors; see the determinism notes
-//! in `backchase`). The same pattern as [`cnb_engine::prng`]: small,
-//! dependency-free, seed-stable.
+//! in `cnb-core`'s `backchase`). The same pattern as `cnb_engine::prng`:
+//! small, dependency-free, seed-stable.
 //!
 //! All inputs here are trusted (terms built by the optimizer itself), so the
 //! loss of DoS resistance is irrelevant.
+//!
+//! This module is the *only* place the workspace is allowed to name the
+//! std hash containers: `cnb-analyze`'s determinism lint denies them
+//! everywhere else, and the aliases below are the sanctioned replacement.
+//! The crate-root re-export `cnb_core::fxhash` keeps the historical path
+//! alive for downstream crates.
 
-use std::collections::{HashMap, HashSet};
+// The std containers are named here on purpose: this is the definition site
+// wrapping them with a deterministic hasher.
+#[allow(clippy::disallowed_types)]
+use std::collections::{HashMap, HashSet}; // cnb-lint: allow(std-hash-map)
 use std::hash::{BuildHasherDefault, Hasher};
 
 /// `HashMap` keyed with [`FxHasher`].
-pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+#[allow(clippy::disallowed_types)]
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>; // cnb-lint: allow(std-hash-map)
 
 /// `HashSet` keyed with [`FxHasher`].
-pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+#[allow(clippy::disallowed_types)]
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>; // cnb-lint: allow(std-hash-map)
 
 /// Zero-sized, deterministic builder for [`FxHasher`].
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;

@@ -33,9 +33,11 @@
 //! assert_eq!(ric.kind(), ConstraintKind::Tgd);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod constraint;
+pub mod fxhash;
 pub mod parser;
 pub mod path;
 pub mod physical;
@@ -49,6 +51,7 @@ pub mod value;
 /// One-stop imports for downstream crates.
 pub mod prelude {
     pub use crate::constraint::{Constraint, ConstraintKind, PhysicalSpec, Skeleton};
+    pub use crate::fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
     pub use crate::parser::{parse_constraint, parse_query, ParseError};
     pub use crate::path::{Equality, PathExpr, Var};
     pub use crate::physical::{

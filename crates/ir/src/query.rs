@@ -11,7 +11,7 @@
 //! where ranges are schema names (`R`), dictionary domains (`dom M`) or
 //! set-valued paths over earlier variables (`M[k].N`).
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 use std::fmt;
 
 use crate::path::{Equality, PathExpr, Var};
@@ -243,7 +243,7 @@ impl Query {
     /// range expressions may only use variables bound *earlier*, and bound
     /// variables must be distinct. Returns a description of the first problem.
     pub fn validate(&self) -> Result<(), String> {
-        let mut seen: HashMap<Var, usize> = HashMap::new();
+        let mut seen: FxHashMap<Var, usize> = FxHashMap::default();
         for (i, b) in self.from.iter().enumerate() {
             for v in b.range.vars() {
                 match seen.get(&v) {
@@ -314,7 +314,7 @@ impl Query {
     /// along different rewrite orders.
     pub fn canonical_key(&self) -> String {
         // Rename variables to their from-clause position.
-        let mut rank: HashMap<Var, usize> = HashMap::new();
+        let mut rank: FxHashMap<Var, usize> = FxHashMap::default();
         for (i, b) in self.from.iter().enumerate() {
             rank.insert(b.var, i);
         }

@@ -7,7 +7,7 @@
 //! skeleton constraint-pairs describing physical structures live here too;
 //! together they completely specify the optimization (paper §1).
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 use std::fmt;
 
 use crate::constraint::{Constraint, Skeleton};
@@ -65,7 +65,7 @@ pub struct Decl {
 #[derive(Clone, Debug, Default)]
 pub struct Schema {
     decls: Vec<Decl>,
-    by_name: HashMap<Symbol, usize>,
+    by_name: FxHashMap<Symbol, usize>,
     /// Semantic integrity constraints (keys, RICs, inverses, ...).
     constraints: Vec<Constraint>,
     /// Physical access structures described as constraint pairs.

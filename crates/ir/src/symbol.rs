@@ -11,7 +11,7 @@
 //! first interning; the total leaked memory is bounded by the number of
 //! distinct identifiers, which is small for any realistic schema.
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 use std::fmt;
 use std::sync::{Mutex, OnceLock};
 
@@ -24,7 +24,7 @@ use std::sync::{Mutex, OnceLock};
 pub struct Symbol(u32);
 
 struct Interner {
-    map: HashMap<&'static str, u32>,
+    map: FxHashMap<&'static str, u32>,
     strings: Vec<&'static str>,
 }
 
@@ -32,7 +32,7 @@ fn interner() -> &'static Mutex<Interner> {
     static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
     INTERNER.get_or_init(|| {
         Mutex::new(Interner {
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             strings: Vec::new(),
         })
     })

@@ -4,7 +4,7 @@
 //! but the engine and the data generators need element types, and type
 //! checking catches workload-construction bugs early.
 
-use std::collections::HashMap;
+use crate::fxhash::FxHashMap;
 
 use crate::constraint::Constraint;
 use crate::path::{PathExpr, Var};
@@ -32,7 +32,7 @@ fn err<T>(msg: impl Into<String>) -> Result<T, TypeError> {
 /// Typing environment: a schema plus the types of bound variables.
 pub struct TypeEnv<'a> {
     schema: &'a Schema,
-    vars: HashMap<Var, Type>,
+    vars: FxHashMap<Var, Type>,
 }
 
 impl<'a> TypeEnv<'a> {
@@ -40,7 +40,7 @@ impl<'a> TypeEnv<'a> {
     pub fn new(schema: &'a Schema) -> TypeEnv<'a> {
         TypeEnv {
             schema,
-            vars: HashMap::new(),
+            vars: FxHashMap::default(),
         }
     }
 

@@ -17,6 +17,7 @@
 //! [`workload::suite`] returns the canonical instance of every family for
 //! generic golden/differential/smoke suites.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ec1;

@@ -12,6 +12,18 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release -q --bin record_backchase" >&2
 cargo build --release -q --bin record_backchase
 
+# Never record numbers for a workspace the static-analysis gate rejects:
+# a lint or validation finding means the measured code is off-contract.
+echo "==> cnb-analyze gate (lint + validate-suite)" >&2
+if ! cargo run --release -q -p cnb-analyze -- lint . >&2; then
+  echo "error: cnb-analyze lint failed — refusing to record" >&2
+  exit 1
+fi
+if ! cargo run --release -q -p cnb-analyze -- validate-suite >&2; then
+  echo "error: cnb-analyze validate-suite failed — refusing to record" >&2
+  exit 1
+fi
+
 # Recording with a stale binary silently benchmarks old code; fail loudly if
 # the build somehow left the binary missing or older than any library/binary
 # source it is built from (benches/ and tests/ are not in its build graph,

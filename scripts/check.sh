@@ -17,6 +17,17 @@ cargo clippy --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release
 
+# Static-analysis tier: the determinism lint (denied std hash maps and
+# wall-clock reads in logic crates) and the semantic validator (every suite
+# workload's schema, constraints — including the weak-acyclicity chase
+# termination check — query, and every backchase-emitted plan). Offline and
+# fast, so it runs ahead of every test tier: a finding here makes the test
+# failures downstream redundant.
+echo "==> cnb-analyze lint"
+cargo run --release -q -p cnb-analyze -- lint .
+echo "==> cnb-analyze validate-suite"
+cargo run --release -q -p cnb-analyze -- validate-suite
+
 # Fast-fail gate: the EC4/EC5 golden + differential suites (star-schema and
 # cyclic-join workloads, exact row order, batched-vs-legacy oracle, thread
 # invariance) run first and explicitly in both thread tiers — they are also

@@ -2,6 +2,8 @@
 //! README for a tour. Examples live in `examples/`, integration tests in
 //! `tests/`.
 
+#![forbid(unsafe_code)]
+
 pub use cnb_core as core;
 pub use cnb_engine as engine;
 pub use cnb_ir as ir;

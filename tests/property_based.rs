@@ -8,6 +8,11 @@
 //! shrinking; on failure the harness reports the case index and per-case
 //! seed, which reproduce the exact inputs deterministically.
 
+// The std HashSet here is a deliberately *independent* model oracle for
+// VarSet — only membership is compared, never iteration order — so the
+// workspace-wide denial (clippy.toml) is waived for this test file.
+#![allow(clippy::disallowed_types)]
+
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
