@@ -203,14 +203,20 @@ pub fn validate_query(schema: &Schema, q: &Query) -> Result<(), ValidateError> {
 
 /// The connected components of a query's binding graph. Two bindings are
 /// connected when one ranges over an expression mentioning the other's
-/// variable, or a where-equality mentions variables of both. Constants do
-/// not connect anything.
+/// variable, a where-equality mentions variables of both, or both are
+/// equated to the *same* ground term: `0 = r.K and 0 = v.K` is transitively
+/// the equijoin `r.K = v.K`, the shape a point predicate leaves behind
+/// after view rewriting. Equalities against *distinct* ground terms connect
+/// nothing (`r.A = 3 and s.B = 5` is still a cross product).
 pub fn join_components(q: &Query) -> usize {
     let n = q.from.len();
     if n <= 1 {
         return n;
     }
     let index: FxHashMap<Var, usize> = q.from.iter().enumerate().map(|(i, b)| (b.var, i)).collect();
+    // Nodes 0..n are bindings; each distinct ground term equated to some
+    // binding gets an extra node so shared constants act as join hubs.
+    let mut ground_nodes: FxHashMap<String, usize> = FxHashMap::default();
     let mut parent: Vec<usize> = (0..n).collect();
     fn find(parent: &mut [usize], mut i: usize) -> usize {
         while parent[i] != i {
@@ -240,8 +246,22 @@ pub fn join_components(q: &Query) -> usize {
             .collect();
         touched.sort_unstable();
         touched.dedup();
+        if touched.is_empty() {
+            continue;
+        }
         for w in touched.windows(2) {
             union(&mut parent, w[0], w[1]);
+        }
+        // A side with no variables is a ground term; bindings equated to
+        // equal ground terms share its node (and thus its component).
+        for side in [&eq.lhs, &eq.rhs] {
+            if side.vars().is_empty() {
+                let node = *ground_nodes.entry(side.to_string()).or_insert_with(|| {
+                    parent.push(parent.len());
+                    parent.len() - 1
+                });
+                union(&mut parent, touched[0], node);
+            }
         }
     }
     let mut roots: Vec<usize> = (0..n).map(|i| find(&mut parent, i)).collect();
@@ -729,9 +749,39 @@ mod tests {
         let t = q.bind("t", Range::Name(sym("S")));
         assert_eq!(join_components(&q), 2, "no predicate, no connection");
         q.equate(PathExpr::from(r).dot("A"), PathExpr::from(3i64));
-        assert_eq!(join_components(&q), 2, "constants do not connect");
+        assert_eq!(join_components(&q), 2, "one filter does not connect");
         q.equate(PathExpr::from(r).dot("A"), PathExpr::from(t).dot("A"));
         assert_eq!(join_components(&q), 1);
+    }
+
+    /// Two bindings pinned to the *same* ground term are transitively
+    /// equijoined through it — the shape a point predicate leaves after
+    /// view rewriting (`0 = r.K and 0 = v.K`). Distinct constants still
+    /// leave a genuine cross product.
+    #[test]
+    fn shared_ground_terms_connect() {
+        let mut q = Query::new();
+        let r = q.bind("r", Range::Name(sym("R")));
+        let t = q.bind("t", Range::Name(sym("S")));
+        q.equate(PathExpr::from(r).dot("A"), PathExpr::from(3i64));
+        q.equate(PathExpr::from(t).dot("A"), PathExpr::from(5i64));
+        assert_eq!(join_components(&q), 2, "distinct constants do not join");
+        q.equate(PathExpr::from(t).dot("B"), PathExpr::from(3i64));
+        assert_eq!(join_components(&q), 1, "shared constant is a join hub");
+
+        // Same through a parameter placeholder (the serving-path shape).
+        let mut p = Query::new();
+        let r = p.bind("r", Range::Name(sym("R")));
+        let t = p.bind("t", Range::Name(sym("S")));
+        p.equate(PathExpr::from(Value::Param(0)), PathExpr::from(r).dot("A"));
+        p.equate(PathExpr::from(Value::Param(0)), PathExpr::from(t).dot("A"));
+        assert_eq!(join_components(&p), 1, "shared param is a join hub");
+        let mut p2 = Query::new();
+        let r = p2.bind("r", Range::Name(sym("R")));
+        let t = p2.bind("t", Range::Name(sym("S")));
+        p2.equate(PathExpr::from(Value::Param(0)), PathExpr::from(r).dot("A"));
+        p2.equate(PathExpr::from(Value::Param(1)), PathExpr::from(t).dot("A"));
+        assert_eq!(join_components(&p2), 2, "distinct params do not join");
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Records the serving-path trajectory as JSON (written to
+//! `BENCH_serving.json` by `scripts/bench_record.sh`): closed-loop QPS and
+//! p50/p95/p99 per-request latency for each EC1–EC5 parameterized serving
+//! mix plus the pooled mix aggregate, at 1/2/4 executor threads, with the
+//! plan-cache hit rate per point. The measured window is warm (one cold
+//! C&B optimization per family plants the cache and is excluded from the
+//! window but included in the hit-rate denominator), so the numbers are
+//! the "preprocess once, answer many" regime the serving path exists for.
+
+// Measuring wall time is this binary's job (see clippy.toml).
+#![allow(clippy::disallowed_methods)]
+
+use cnb_bench::serving::{run_suite, ServingPoint};
+use cnb_workloads::DataScale;
+
+fn main() {
+    let scale = DataScale::new(cnb_bench::rows().min(2000), 7);
+    let requests = std::env::var("CNB_SERVING_REQUESTS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(200);
+    let sweep = [1usize, 2, 4];
+    let mut points: Vec<ServingPoint> = Vec::new();
+    for threads in sweep {
+        points.extend(run_suite(scale, requests, threads));
+    }
+
+    let recorded_unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!("{{");
+    println!("  \"bench\": \"serving\",");
+    println!("  \"recorded_unix\": {recorded_unix},");
+    println!("  \"host_cpus\": {host_cpus},");
+    println!("  \"scale_rows\": {},", scale.rows);
+    println!("  \"requests_per_family\": {requests},");
+    println!("  \"points\": [");
+    for (i, p) in points.iter().enumerate() {
+        let comma = if i + 1 < points.len() { "," } else { "" };
+        println!(
+            "    {{\"label\": \"{}\", \"threads\": {}, \"requests\": {}, \"qps\": {:.1}, \
+             \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}, \
+             \"cache_hits\": {}, \"cache_misses\": {}, \"hit_rate\": {:.4}, \
+             \"rows_total\": {}}}{comma}",
+            p.label,
+            p.threads,
+            p.requests,
+            p.qps,
+            p.p50_ms,
+            p.p95_ms,
+            p.p99_ms,
+            p.cache_hits,
+            p.cache_misses,
+            p.hit_rate,
+            p.rows_total
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}

@@ -22,6 +22,7 @@
 #![allow(clippy::disallowed_methods)]
 
 pub mod figs;
+pub mod serving;
 pub mod timing;
 
 use std::time::Duration;

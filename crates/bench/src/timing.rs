@@ -76,7 +76,7 @@ impl BenchGroup {
             })
             .collect();
         per_iter.sort();
-        let median = per_iter[per_iter.len() / 2];
+        let median = median_of_sorted(&per_iter);
         self.rows.push(vec![
             label.to_string(),
             fmt_duration(median),
@@ -93,6 +93,18 @@ impl BenchGroup {
             &["benchmark", "median/iter", "min", "max", "samples"],
             &self.rows,
         );
+    }
+}
+
+/// Median of an already-sorted sample list. For an even count the true
+/// median is *between* the two middle elements; `sorted[len / 2]` alone is
+/// the upper one and biases the reported median high, so average the pair.
+fn median_of_sorted(sorted: &[Duration]) -> Duration {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
     }
 }
 
@@ -122,6 +134,18 @@ mod tests {
         g.bench("spin", || (0..100).sum::<u64>());
         assert_eq!(g.rows.len(), 2);
         assert!(g.rows.iter().all(|r| r.len() == 5));
+    }
+
+    #[test]
+    fn median_is_midpoint_for_even_sample_counts() {
+        let ms = Duration::from_millis(1);
+        // Odd count: the middle element, exactly.
+        assert_eq!(median_of_sorted(&[ms, 3 * ms, 100 * ms]), 3 * ms);
+        // Even count: midpoint of the two middle elements — NOT the upper
+        // one (the old `sorted[len / 2]` bug reported 100ms here).
+        assert_eq!(median_of_sorted(&[ms, 2 * ms, 100 * ms, 200 * ms]), 51 * ms);
+        // Two samples degenerate to their mean.
+        assert_eq!(median_of_sorted(&[2 * ms, 4 * ms]), 3 * ms);
     }
 
     #[test]

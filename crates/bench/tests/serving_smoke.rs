@@ -1,0 +1,170 @@
+//! End-to-end smoke of the serving path: cache semantics, executor-pool
+//! determinism, and the QPS harness itself.
+//!
+//! The properties here are the serving-path contract:
+//! * row sets are a pure function of the request mix — the executor pool's
+//!   thread count must never change them;
+//! * a warm cache hit answers without running chase & backchase (audited
+//!   via the process-wide [`chase_and_backchase_runs`] counter);
+//! * the per-family point picks *partition* the central query — pooling
+//!   the distinct rows over the whole pick domain reproduces the full
+//!   query's distinct result, so the cached template + bound parameter
+//!   really is the same query, not a lookalike;
+//! * the measurement harness (`run_suite`) itself runs green, which in a
+//!   debug build also pushes every served plan through
+//!   `cnb_analyze::validate_plan` (see `cnb_bench::serving`).
+
+use cnb_bench::serving::run_suite;
+use cnb_core::prelude::chase_and_backchase_runs;
+use cnb_engine::PlanServer;
+use cnb_workloads::{suite, DataScale, Workload};
+
+fn server_for(w: &dyn Workload) -> PlanServer {
+    PlanServer::new(w.optimizer(), cnb_bench::config(w.expectations().strategy))
+}
+
+/// The executor pool is a throughput knob only: serving the same mix on
+/// 1/2/4/8 workers returns byte-identical row sets in request order.
+#[test]
+fn row_sets_are_identical_at_every_thread_count() {
+    let scale = DataScale::new(120, 7);
+    for w in suite() {
+        let db = w.generate_at(scale);
+        let requests: Vec<_> = (0..10).map(|i| w.serving_query(scale, i)).collect();
+        let mut baseline = None;
+        for threads in [1usize, 2, 4, 8] {
+            let mut server = server_for(w.as_ref());
+            let rows: Vec<_> = server
+                .serve_batch(&db, &requests, threads)
+                .into_iter()
+                .map(|r| {
+                    r.unwrap_or_else(|e| panic!("{}: request failed: {e}", w.name()))
+                        .1
+                        .rows
+                })
+                .collect();
+            match &baseline {
+                None => baseline = Some(rows),
+                Some(b) => assert_eq!(
+                    b,
+                    &rows,
+                    "{}: {threads} worker threads changed the row sets",
+                    w.name()
+                ),
+            }
+        }
+    }
+}
+
+/// A warm hit never re-plans: across a full warmed mix the process-wide
+/// chase & backchase run counter does not move, for any family.
+#[test]
+fn warm_hits_answer_without_chase_and_backchase() {
+    let scale = DataScale::new(120, 7);
+    for w in suite() {
+        let db = w.generate_at(scale);
+        let mut server = server_for(w.as_ref());
+        let (plan, _) = server.serve(&db, &w.serving_query(scale, 0)).unwrap();
+        assert!(!plan.cache_hit, "{}: first request must miss", w.name());
+        let before = chase_and_backchase_runs();
+        for pick in 1..8u64 {
+            let (plan, _) = server.serve(&db, &w.serving_query(scale, pick)).unwrap();
+            assert!(plan.cache_hit, "{}: warmed pick {pick} must hit", w.name());
+        }
+        assert_eq!(
+            chase_and_backchase_runs(),
+            before,
+            "{}: a warm hit invoked the optimizer",
+            w.name()
+        );
+        assert_eq!(server.cache().misses(), 1, "{}", w.name());
+        assert_eq!(server.cache().hits(), 7, "{}", w.name());
+    }
+}
+
+/// Sweeping the whole pick domain partitions the central query: the pooled
+/// *distinct* rows over every point pick equal the full query's distinct
+/// rows. This pins that the cached template + bound constant is
+/// semantically the central query — a fingerprint collision, a mis-bound
+/// parameter, or a wrong plan would all break the partition. Distinct
+/// rather than multiset because C&B minimization is set-semantics (join
+/// elimination may change multiplicities, as the paper's containment
+/// theory allows).
+#[test]
+fn point_picks_partition_the_central_query() {
+    let scale = DataScale::new(90, 7);
+    // Each family's serving pick domain (the modulus its `serving_query`
+    // applies at this scale; see the per-family impls).
+    let domains: [(Box<dyn Workload>, u64); 5] = [
+        (Box::new(cnb_workloads::Ec1::new(3, 1)), scale.rows as u64),
+        (
+            Box::new(cnb_workloads::Ec2::new(2, 2, 1)),
+            scale.rows as u64,
+        ),
+        (
+            Box::new(cnb_workloads::Ec3::new(3, 1)),
+            (scale.rows / 3).max(2) as u64,
+        ),
+        (Box::new(cnb_workloads::Ec4::new(3, 2, 1)), 20),
+        (
+            Box::new(cnb_workloads::Ec5::triangle()),
+            (scale.rows / 2).max(2) as u64,
+        ),
+    ];
+    for (w, domain) in &domains {
+        let db = w.generate_at(scale);
+        let mut full: Vec<String> = cnb_engine::execute(&db, &w.query())
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| r.to_string())
+            .collect();
+        let mut server = server_for(w.as_ref());
+        let mut pooled: Vec<String> = Vec::new();
+        for pick in 0..*domain {
+            let (_, exec) = server.serve(&db, &w.serving_query(scale, pick)).unwrap();
+            pooled.extend(exec.rows.iter().map(|r| r.to_string()));
+        }
+        full.sort();
+        full.dedup();
+        pooled.sort();
+        pooled.dedup();
+        assert_eq!(
+            full,
+            pooled,
+            "{}: point picks over the domain 0..{domain} do not partition the central query",
+            w.name()
+        );
+        assert_eq!(
+            server.cache().misses(),
+            1,
+            "{}: one shape, one miss",
+            w.name()
+        );
+    }
+}
+
+/// The QPS harness runs green at smoke scale and reports sane numbers; in
+/// a debug build this also validates every served plan against
+/// `cnb_analyze::validate_plan` (the harness panics on a finding).
+#[test]
+fn harness_smoke_runs_and_validates_served_plans() {
+    let points = run_suite(DataScale::new(80, 7), 6, 2);
+    let labels: Vec<&str> = points.iter().map(|p| p.label.as_str()).collect();
+    assert_eq!(labels, ["EC1", "EC2", "EC3", "EC4", "EC5", "mix"]);
+    for p in &points {
+        assert!(p.qps > 0.0, "{}: qps must be positive", p.label);
+        assert!(
+            p.p50_ms <= p.p95_ms && p.p95_ms <= p.p99_ms,
+            "{}: percentiles must be monotone",
+            p.label
+        );
+        assert_eq!(p.cache_misses, if p.label == "mix" { 5 } else { 1 });
+        assert!(
+            p.hit_rate > 0.8,
+            "{}: warmed mix should be hit-dominated (got {})",
+            p.label,
+            p.hit_rate
+        );
+    }
+}

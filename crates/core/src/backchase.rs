@@ -45,6 +45,7 @@
 //! whatever verdicts were computed, returning the plans found so far with
 //! [`BackchaseResult::timed_out`] set.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use cnb_ir::prelude::{Constraint, PathExpr, Query, Symbol};
@@ -124,6 +125,17 @@ pub struct BackchaseResult {
     pub timed_out: bool,
 }
 
+/// Process-wide count of [`chase_and_backchase`] invocations. Test-support
+/// audit counter (same pattern as `canon::canon_db_clones`): the serving
+/// suite asserts a warm plan-cache hit executes without re-entering the
+/// optimizer by snapshotting this before and after.
+static RUNS: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide total of [`chase_and_backchase`] calls so far.
+pub fn chase_and_backchase_runs() -> usize {
+    RUNS.load(Ordering::Relaxed)
+}
+
 /// Runs chase + full backchase of `q0` under `constraints`.
 pub fn chase_and_backchase(
     q0: &Query,
@@ -139,6 +151,7 @@ pub fn chase_and_backchase(
         constraints.iter().all(|c| c.validate().is_ok()),
         "chase_and_backchase called with an ill-formed constraint"
     );
+    RUNS.fetch_add(1, Ordering::Relaxed);
     // Timing is reported in stats only; it never influences the search.
     #[allow(clippy::disallowed_methods)]
     let start = Instant::now(); // cnb-lint: allow(wall-clock)

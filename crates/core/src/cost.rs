@@ -34,6 +34,10 @@ pub struct CostModel {
     pub selectivity_samples: usize,
     /// Number of measured fan-outs folded into `fanout`.
     pub fanout_samples: usize,
+    /// Per-collection count of *measured* cardinality observations (builder
+    /// seeds are static estimates and do not count). Same role as
+    /// `selectivity_samples`: 0 means any stored value is still an estimate.
+    pub cardinality_samples: FxHashMap<Symbol, usize>,
 }
 
 impl Default for CostModel {
@@ -45,6 +49,7 @@ impl Default for CostModel {
             fanout: 4.0,
             selectivity_samples: 0,
             fanout_samples: 0,
+            cardinality_samples: FxHashMap::default(),
         }
     }
 }
@@ -66,9 +71,22 @@ impl CostModel {
         self
     }
 
-    /// Records a measured collection cardinality (replaces any estimate).
+    /// Records a measured collection cardinality. Same policy as
+    /// [`CostModel::observe_join_selectivity`]: the first *measurement*
+    /// replaces whatever estimate is stored (static default or builder
+    /// seed), later ones fold in as a running mean. A replace-every-call
+    /// policy would let one anomalous batch overwrite a converged estimate
+    /// under repeated cached-plan execution.
     pub fn observe_cardinality(&mut self, name: Symbol, card: f64) {
-        self.cardinalities.insert(name, card);
+        let card = card.max(0.0);
+        let samples = self.cardinality_samples.entry(name).or_insert(0);
+        let n = *samples as f64;
+        let merged = match self.cardinalities.get(&name) {
+            Some(prev) if *samples > 0 => (prev * n + card) / (n + 1.0),
+            _ => card,
+        };
+        self.cardinalities.insert(name, merged);
+        *samples += 1;
     }
 
     /// Folds one measured equi-join selectivity into the model. The first
@@ -221,6 +239,30 @@ mod tests {
 
         model.observe_cardinality(sym("R"), 123.0);
         assert_eq!(model.cardinalities.get(&sym("R")), Some(&123.0));
+        model.observe_cardinality(sym("R"), 1.0);
+        assert_eq!(
+            model.cardinalities.get(&sym("R")),
+            Some(&62.0),
+            "second measurement averages in instead of replacing"
+        );
+        assert_eq!(model.cardinality_samples.get(&sym("R")), Some(&2));
+    }
+
+    #[test]
+    fn cardinality_builder_seed_is_an_estimate_not_a_sample() {
+        // A builder seed is a static estimate: the first *measurement*
+        // replaces it outright (matching the selectivity/fanout policy),
+        // and only later measurements average against each other.
+        let mut model = CostModel::default().with_cardinality(sym("R"), 1e6);
+        model.observe_cardinality(sym("R"), 100.0);
+        assert_eq!(model.cardinalities.get(&sym("R")), Some(&100.0));
+        model.observe_cardinality(sym("R"), 300.0);
+        assert_eq!(model.cardinalities.get(&sym("R")), Some(&200.0));
+        // An anomalous batch shifts the mean, it no longer overwrites it.
+        model.observe_cardinality(sym("R"), 1e6);
+        let got = *model.cardinalities.get(&sym("R")).unwrap();
+        assert!((got - (100.0 + 300.0 + 1e6) / 3.0).abs() < 1e-9);
+        assert!(got < 1e6, "converged estimate survives the outlier");
     }
 
     #[test]

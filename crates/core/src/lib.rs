@@ -30,6 +30,7 @@ pub mod fragments;
 pub mod homomorphism;
 pub mod optimizer;
 pub mod parallel;
+pub mod serving;
 pub mod strata;
 pub mod subquery;
 
@@ -40,7 +41,8 @@ pub use cnb_ir::fxhash;
 /// One-stop imports.
 pub mod prelude {
     pub use crate::backchase::{
-        backchase, chase_and_backchase, BackchaseConfig, BackchaseResult, Plan,
+        backchase, chase_and_backchase, chase_and_backchase_runs, BackchaseConfig, BackchaseResult,
+        Plan,
     };
     pub use crate::bitset::VarSet;
     pub use crate::bottomup::bottom_up_backchase;
@@ -54,6 +56,10 @@ pub mod prelude {
     pub use crate::homomorphism::{find_homs, hom_exists, HomConfig, HomMap};
     pub use crate::optimizer::{OptimizeResult, Optimizer, OptimizerConfig, PlanInfo, Strategy};
     pub use crate::parallel::{map_chunked, map_chunked_with, resolve_threads, WorkQueue};
+    pub use crate::serving::{
+        bind_params, constraint_digest, parameterize, unbound_param, CachedPlans, Fingerprint,
+        ParameterizedQuery, PlanCache,
+    };
     pub use crate::strata::{regroup, stratify};
     pub use crate::subquery::{all_bindings, induce_subquery, induce_subquery_pure};
 }

@@ -30,18 +30,29 @@ pub const MAX_THREADS: usize = 64;
 /// [`std::thread::available_parallelism`]. The result is clamped to
 /// `1..=`[`MAX_THREADS`].
 pub fn resolve_threads(explicit: usize) -> usize {
+    let env = std::env::var("CNB_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok());
+    let available = std::thread::available_parallelism().map(|n| n.get()).ok();
+    resolve_threads_from(explicit, env, available)
+}
+
+/// The pure core of [`resolve_threads`]: source precedence plus the cap,
+/// with every source clamped individually. An oversized value from *any*
+/// source — explicit config, `CNB_THREADS`, or a machine reporting hundreds
+/// of cores — must not blow past the scoped-spawn cap, and an unset or
+/// zero source falls through to the next rather than forcing 1.
+pub fn resolve_threads_from(
+    explicit: usize,
+    env: Option<usize>,
+    available: Option<usize>,
+) -> usize {
     let n = if explicit > 0 {
         explicit
-    } else if let Some(env) = std::env::var("CNB_THREADS")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
-    {
+    } else if let Some(env) = env.filter(|&n| n > 0) {
         env
     } else {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+        available.filter(|&n| n > 0).unwrap_or(1)
     };
     n.clamp(1, MAX_THREADS)
 }
@@ -299,5 +310,21 @@ mod tests {
         assert_eq!(resolve_threads(1000), MAX_THREADS);
         // 0 = auto: whatever it resolves to, it is at least 1.
         assert!(resolve_threads(0) >= 1);
+    }
+
+    #[test]
+    fn resolve_threads_clamps_every_source() {
+        // Each source can independently exceed the cap; all must clamp.
+        assert_eq!(resolve_threads_from(1000, None, None), MAX_THREADS);
+        assert_eq!(resolve_threads_from(0, Some(1000), None), MAX_THREADS);
+        assert_eq!(resolve_threads_from(0, None, Some(1000)), MAX_THREADS);
+        // In-range values pass through untouched, by precedence.
+        assert_eq!(resolve_threads_from(3, Some(7), Some(12)), 3);
+        assert_eq!(resolve_threads_from(0, Some(7), Some(12)), 7);
+        assert_eq!(resolve_threads_from(0, None, Some(12)), 12);
+        // Zero / unset sources fall through; everything absent floors at 1.
+        assert_eq!(resolve_threads_from(0, Some(0), Some(5)), 5);
+        assert_eq!(resolve_threads_from(0, None, Some(0)), 1);
+        assert_eq!(resolve_threads_from(0, None, None), 1);
     }
 }

@@ -1,0 +1,415 @@
+//! Serving path: query templates and the canonical-fingerprint plan cache.
+//!
+//! The paper's economics only close when one optimization is amortized over
+//! many executions — real traffic is parameterized repeats of a few query
+//! *shapes*. This module turns C&B into that "preprocess once, answer many"
+//! discipline:
+//!
+//! * [`parameterize`] lifts every constant of a query into a
+//!   [`Value::Param`] placeholder, splitting it into a *template* (the
+//!   shape) and a parameter vector (the constants);
+//! * [`Fingerprint`] keys templates canonically — variable-renaming via
+//!   [`Query::canonical_key`] (the same canonical rendering the
+//!   congruence-based equivalence fast path uses), so alpha-equivalent
+//!   queries with different constants collapse to one entry — paired with a
+//!   digest of the constraint set, because plans are only sound under the
+//!   constraints they were derived with;
+//! * [`PlanCache`] maps fingerprints to the optimizer's template plans and
+//!   counts hits/misses;
+//! * [`bind_params`] substitutes a parameter vector back into a cached
+//!   template plan, producing an executable query without re-planning.
+//!
+//! Soundness of caching *template* plans: a [`Value::Param`] behaves as an
+//! opaque constant throughout chase/backchase — two distinct parameters
+//! never compare equal and never equal a literal — so every rewrite the
+//! optimizer derives for the template is justified for *any* parameter
+//! binding. Nothing in plan generation or ranking branches on constant
+//! values, so binding the cold path's own parameters back into a cached
+//! plan reproduces the cold path's plans byte-for-byte
+//! (`tests/property_based.rs` pins this).
+
+use std::hash::{Hash, Hasher};
+
+use cnb_ir::prelude::{Constraint, Query, Range, Value};
+
+use crate::fxhash::{FxHashMap, FxHasher};
+
+/// A query split into its shape (constants lifted to [`Value::Param`]
+/// placeholders) and the lifted constants, in placeholder order.
+#[derive(Clone, Debug)]
+pub struct ParameterizedQuery {
+    /// The shape: `params[k]` replaced by `?k` everywhere.
+    pub template: Query,
+    /// The lifted constants; `params[k]` binds placeholder `?k`.
+    pub params: Vec<Value>,
+}
+
+/// Splits `q` into a template and its parameter vector.
+///
+/// Constants are lifted in one fixed traversal order — from-clause range
+/// expressions, then where-clause equalities (lhs before rhs), then select
+/// paths — so structurally identical queries always produce the same
+/// placeholder numbering and therefore the same [`Fingerprint`]. Each
+/// occurrence gets its own placeholder: collapsing repeated values would
+/// specialize the template to bindings that happen to repeat them.
+/// Placeholders already present pass through unchanged (re-parameterizing a
+/// template is the identity on it).
+pub fn parameterize(q: &Query) -> ParameterizedQuery {
+    let mut params: Vec<Value> = Vec::new();
+    let mut lift = |v: &Value| -> Value {
+        if let Value::Param(_) = v {
+            return v.clone();
+        }
+        let k = params.len() as u32;
+        params.push(v.clone());
+        Value::Param(k)
+    };
+    let mut template = q.clone();
+    for b in &mut template.from {
+        if let Range::Expr(p) = &b.range {
+            b.range = Range::Expr(p.map_consts(&mut lift));
+        }
+    }
+    for eq in &mut template.where_ {
+        eq.lhs = eq.lhs.map_consts(&mut lift);
+        eq.rhs = eq.rhs.map_consts(&mut lift);
+    }
+    for (_, p) in &mut template.select {
+        *p = p.map_consts(&mut lift);
+    }
+    ParameterizedQuery { template, params }
+}
+
+/// Substitutes a parameter vector into a template (or template plan),
+/// replacing every `?k` with `params[k]`. Placeholders without a binding
+/// are left in place — execution rejects them, so a template/vector
+/// mismatch fails loudly rather than computing with a placeholder value.
+pub fn bind_params(template: &Query, params: &[Value]) -> Query {
+    let mut subst = |v: &Value| -> Value {
+        match v {
+            Value::Param(k) => match params.get(*k as usize) {
+                Some(actual) => actual.clone(),
+                None => Value::Param(*k),
+            },
+            other => other.clone(),
+        }
+    };
+    let mut bound = template.clone();
+    for b in &mut bound.from {
+        if let Range::Expr(p) = &b.range {
+            b.range = Range::Expr(p.map_consts(&mut subst));
+        }
+    }
+    for eq in &mut bound.where_ {
+        eq.lhs = eq.lhs.map_consts(&mut subst);
+        eq.rhs = eq.rhs.map_consts(&mut subst);
+    }
+    for (_, p) in &mut bound.select {
+        *p = p.map_consts(&mut subst);
+    }
+    bound
+}
+
+/// First [`Value::Param`] placeholder left anywhere in `q`, if any. The
+/// execution engine refuses queries with unbound placeholders — a template
+/// reaching the executor means a bind step was skipped or the parameter
+/// vector was too short, and computing with `?k` as if it were data would
+/// silently return wrong (usually empty) results.
+pub fn unbound_param(q: &Query) -> Option<u32> {
+    let mut found: Option<u32> = None;
+    let mut scan = |v: &Value| -> Value {
+        if let Value::Param(k) = v {
+            found.get_or_insert(*k);
+        }
+        v.clone()
+    };
+    for b in &q.from {
+        if let Range::Expr(p) = &b.range {
+            p.map_consts(&mut scan);
+        }
+    }
+    for eq in &q.where_ {
+        eq.lhs.map_consts(&mut scan);
+        eq.rhs.map_consts(&mut scan);
+    }
+    for (_, p) in &q.select {
+        p.map_consts(&mut scan);
+    }
+    found
+}
+
+/// Canonical cache key for (query shape, constraint set).
+///
+/// The shape component is [`Query::canonical_key`] of the template — the
+/// alpha-invariant rendering (variables renamed to from-clause position)
+/// that also backs the `same_plan` equivalence fast path — extended with
+/// the select-clause *label order*. `canonical_key` sorts select entries
+/// for comparison purposes, but served rows must come back with the
+/// caller's output-field order, so two shapes differing only in select
+/// order must not share plans. The constraint component digests the
+/// rendered constraint set order-insensitively.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Fingerprint {
+    shape: String,
+    constraints: u64,
+}
+
+impl Fingerprint {
+    /// Fingerprint of a template under a constraint set.
+    pub fn new(template: &Query, constraints: &[Constraint]) -> Fingerprint {
+        let mut shape = template.canonical_key();
+        shape.push('|');
+        let labels: Vec<String> = template.select.iter().map(|(l, _)| l.to_string()).collect();
+        shape.push_str(&labels.join(","));
+        Fingerprint {
+            shape,
+            constraints: constraint_digest(constraints),
+        }
+    }
+
+    /// The canonical shape rendering (diagnostics/tests).
+    pub fn shape(&self) -> &str {
+        &self.shape
+    }
+}
+
+/// Order-insensitive digest of a constraint set: each constraint's
+/// canonical rendering is hashed; the sorted per-constraint hashes feed one
+/// final hash. Reordering the set must not change the digest (plans sound
+/// under a set are sound under its permutations), but adding, removing or
+/// editing any constraint must.
+pub fn constraint_digest(constraints: &[Constraint]) -> u64 {
+    let mut each: Vec<u64> = constraints
+        .iter()
+        .map(|c| {
+            let mut h = FxHasher::default();
+            c.name.hash(&mut h);
+            c.to_string().hash(&mut h);
+            h.finish()
+        })
+        .collect();
+    each.sort_unstable();
+    let mut h = FxHasher::default();
+    each.hash(&mut h);
+    h.finish()
+}
+
+/// One cache entry: the template a fingerprint was derived from and the
+/// optimizer's plans for it (best-first, as `Optimizer::optimize` emitted
+/// them). Plans still contain `?k` placeholders; [`bind_params`] turns
+/// them executable.
+#[derive(Clone, Debug)]
+pub struct CachedPlans {
+    /// The template the plans were derived for.
+    pub template: Query,
+    /// Template plans, best-first.
+    pub plans: Vec<Query>,
+    /// Subqueries explored deriving them (provenance for reporting).
+    pub explored: usize,
+}
+
+/// The plan cache: [`Fingerprint`] → [`CachedPlans`], with hit/miss
+/// accounting. Deterministic fxhash map per the workspace lint.
+#[derive(Clone, Debug, Default)]
+pub struct PlanCache {
+    entries: FxHashMap<Fingerprint, CachedPlans>,
+    hits: usize,
+    misses: usize,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> PlanCache {
+        PlanCache::default()
+    }
+
+    /// Looks up a fingerprint, counting a hit or a miss.
+    ///
+    /// On a hit, debug builds re-verify with [`Query::canonical_key`]
+    /// equality against the stored template — the cheap end of the
+    /// congruence machinery's plan-identity check — so a fingerprint
+    /// collision can never silently serve a foreign shape's plans.
+    pub fn lookup(&mut self, fp: &Fingerprint, template: &Query) -> Option<&CachedPlans> {
+        match self.entries.get(fp) {
+            Some(entry) => {
+                debug_assert_eq!(
+                    entry.template.canonical_key(),
+                    template.canonical_key(),
+                    "fingerprint collision: cached template shape differs"
+                );
+                self.hits += 1;
+                Some(entry)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or replaces) the plans for a fingerprint.
+    pub fn insert(&mut self, fp: Fingerprint, entry: CachedPlans) {
+        self.entries.insert(fp, entry);
+    }
+
+    /// Number of cached shapes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Lookups that missed.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// hits / (hits + misses), or 0.0 before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnb_ir::prelude::*;
+
+    fn point_query(table: &str, key: i64) -> Query {
+        let mut q = Query::new();
+        let r = q.bind("r", Range::Name(sym(table)));
+        q.equate(PathExpr::from(r).dot("K"), PathExpr::from(key));
+        q.output("N", PathExpr::from(r).dot("N"));
+        q
+    }
+
+    #[test]
+    fn parameterize_lifts_every_constant() {
+        let q = point_query("R", 42);
+        let p = parameterize(&q);
+        assert_eq!(p.params, vec![Value::Int(42)]);
+        assert_eq!(
+            p.template.where_[0].rhs,
+            PathExpr::Const(Value::Param(0)),
+            "constant lifted to ?0"
+        );
+        // Round trip: binding the lifted params reproduces the original.
+        assert_eq!(bind_params(&p.template, &p.params), q);
+    }
+
+    #[test]
+    fn parameterize_is_idempotent_on_templates() {
+        let p = parameterize(&point_query("R", 42));
+        let again = parameterize(&p.template);
+        assert_eq!(again.template, p.template);
+        assert!(again.params.is_empty());
+    }
+
+    #[test]
+    fn same_shape_different_constants_share_a_fingerprint() {
+        let a = parameterize(&point_query("R", 1));
+        let b = parameterize(&point_query("R", 99));
+        assert_eq!(
+            Fingerprint::new(&a.template, &[]),
+            Fingerprint::new(&b.template, &[])
+        );
+        // A different table is a different shape.
+        let c = parameterize(&point_query("S", 1));
+        assert_ne!(
+            Fingerprint::new(&a.template, &[]),
+            Fingerprint::new(&c.template, &[])
+        );
+    }
+
+    #[test]
+    fn alpha_equivalent_queries_share_a_fingerprint() {
+        // Same query with differently-allocated variable ids.
+        let mut q = Query::new();
+        let _unused = q.fresh_var();
+        let _unused2 = q.fresh_var();
+        let r = q.bind("row", Range::Name(sym("R")));
+        q.equate(PathExpr::from(r).dot("K"), PathExpr::from(7i64));
+        q.output("N", PathExpr::from(r).dot("N"));
+        let a = parameterize(&point_query("R", 3));
+        let b = parameterize(&q);
+        assert_eq!(
+            Fingerprint::new(&a.template, &[]),
+            Fingerprint::new(&b.template, &[])
+        );
+    }
+
+    #[test]
+    fn select_label_order_distinguishes_shapes() {
+        let mk = |first: &str, second: &str| {
+            let mut q = Query::new();
+            let r = q.bind("r", Range::Name(sym("R")));
+            q.output(first, PathExpr::from(r).dot(first));
+            q.output(second, PathExpr::from(r).dot(second));
+            q
+        };
+        // canonical_key alone sorts select entries; the fingerprint must
+        // keep output order apart because served rows preserve it.
+        assert_ne!(
+            Fingerprint::new(&mk("A", "B"), &[]),
+            Fingerprint::new(&mk("B", "A"), &[])
+        );
+    }
+
+    #[test]
+    fn constraint_digest_is_order_insensitive_but_content_sensitive() {
+        let mut schema = Schema::new();
+        schema.add_relation("R", [(sym("K"), Type::Int), (sym("N"), Type::Int)]);
+        add_primary_index(&mut schema, sym("R"), sym("K"), "PI");
+        let cs = schema.all_constraints();
+        assert!(cs.len() >= 2, "primary index yields at least two EDs");
+        let mut rev = cs.clone();
+        rev.reverse();
+        assert_eq!(constraint_digest(&cs), constraint_digest(&rev));
+        assert_ne!(constraint_digest(&cs), constraint_digest(&cs[1..]));
+        assert_ne!(constraint_digest(&cs), constraint_digest(&[]));
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let p = parameterize(&point_query("R", 5));
+        let fp = Fingerprint::new(&p.template, &[]);
+        let mut cache = PlanCache::new();
+        assert!(cache.lookup(&fp, &p.template).is_none());
+        cache.insert(
+            fp.clone(),
+            CachedPlans {
+                template: p.template.clone(),
+                plans: vec![p.template.clone()],
+                explored: 1,
+            },
+        );
+        assert!(cache.lookup(&fp, &p.template).is_some());
+        assert!(cache.lookup(&fp, &p.template).is_some());
+        assert_eq!((cache.hits(), cache.misses()), (2, 1));
+        assert!((cache.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn unbound_placeholder_survives_binding() {
+        let p = parameterize(&point_query("R", 5));
+        let bound = bind_params(&p.template, &[]);
+        assert_eq!(bound.where_[0].rhs, PathExpr::Const(Value::Param(0)));
+        assert_eq!(unbound_param(&bound), Some(0));
+        assert_eq!(unbound_param(&bind_params(&p.template, &p.params)), None);
+        assert_eq!(unbound_param(&point_query("R", 5)), None);
+    }
+}

@@ -148,12 +148,26 @@ pub struct ExecResult {
     pub stats: ExecStats,
 }
 
+/// Rejects queries still containing `?k` parameter placeholders: a
+/// template reaching the executor means the serving path's bind step was
+/// skipped (or the parameter vector was short), and treating `?k` as data
+/// would silently produce wrong — usually empty — results.
+fn reject_unbound_params(q: &Query) -> Result<(), EngineError> {
+    match cnb_core::serving::unbound_param(q) {
+        Some(k) => Err(EngineError::new(format!(
+            "query contains unbound parameter ?{k}; bind parameters before executing"
+        ))),
+        None => Ok(()),
+    }
+}
+
 /// Executes `q` against `db` with the batched engine.
 pub fn execute(db: &Database, q: &Query) -> Result<ExecResult, EngineError> {
     // Stats-only timing; evaluation order is fixed by the plan.
     #[allow(clippy::disallowed_methods)]
     let start = Instant::now(); // cnb-lint: allow(wall-clock)
     q.validate().map_err(EngineError::new)?;
+    reject_unbound_params(q)?;
     let steps = plan(db, q)?;
     let indexes = JoinIndexes::build(db, &steps);
     let slots = slot_map(q);
@@ -194,6 +208,7 @@ pub fn execute_legacy(db: &Database, q: &Query) -> Result<ExecResult, EngineErro
     #[allow(clippy::disallowed_methods)]
     let start = Instant::now(); // cnb-lint: allow(wall-clock)
     q.validate().map_err(EngineError::new)?;
+    reject_unbound_params(q)?;
     let steps = plan(db, q)?;
     let indexes = JoinIndexes::build(db, &steps);
     let mut stats = ExecStats {

@@ -22,7 +22,9 @@ pub mod error;
 pub mod eval;
 mod join;
 pub mod prng;
+pub mod serving;
 
 pub use database::{Database, OrderedDict};
 pub use error::EngineError;
 pub use eval::{execute, execute_legacy, feed_cost_model, ExecResult, ExecStats, OpStats};
+pub use serving::{PlanServer, ServedPlan, ServedResult};

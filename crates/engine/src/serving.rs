@@ -1,0 +1,273 @@
+//! The serving executor: plan-cache frontend plus a concurrent request pool.
+//!
+//! [`PlanServer`] is the "answer many" half of the serving discipline: it
+//! owns a C&B [`Optimizer`] and a [`PlanCache`], and turns an incoming
+//! query into an executable plan by template lookup — paying the full
+//! chase & backchase only on the first sighting of a (shape, constraint
+//! set) fingerprint. Cache hits substitute the request's constants into
+//! the cached template plan ([`bind_params`]) and go straight to
+//! execution.
+//!
+//! [`PlanServer::serve_batch`] executes a whole batch of requests on the
+//! scoped worker pool of [`cnb_core::parallel`] over one shared read-only
+//! [`Database`]: planning stays on the caller's thread (it mutates the
+//! cache), execution fans out morsel-style via the atomic work queue, and
+//! results come back **in request order** — so a served batch is
+//! byte-identical at any thread count, same contract as the parallel
+//! backchase.
+
+use cnb_ir::prelude::Query;
+
+use cnb_core::prelude::{
+    bind_params, parameterize, CachedPlans, Fingerprint, Optimizer, OptimizerConfig, PlanCache,
+};
+use cnb_core::{parallel, serving::unbound_param};
+
+use crate::database::Database;
+use crate::error::EngineError;
+use crate::eval::{execute, ExecResult};
+
+/// A plan produced by the serving frontend.
+#[derive(Clone, Debug)]
+pub struct ServedPlan {
+    /// The executable (fully bound) plan.
+    pub plan: Query,
+    /// True when the plan came from the cache without re-optimizing.
+    pub cache_hit: bool,
+}
+
+/// One request's outcome in a [`PlanServer::serve_batch`] run.
+pub type ServedResult = Result<(ServedPlan, ExecResult), EngineError>;
+
+/// Plan-cache frontend over a fixed schema + constraint set.
+pub struct PlanServer {
+    optimizer: Optimizer,
+    config: OptimizerConfig,
+    cache: PlanCache,
+}
+
+impl PlanServer {
+    /// A server for `optimizer`'s schema and constraints, optimizing cache
+    /// misses under `config`.
+    pub fn new(optimizer: Optimizer, config: OptimizerConfig) -> PlanServer {
+        PlanServer {
+            optimizer,
+            config,
+            cache: PlanCache::new(),
+        }
+    }
+
+    /// The underlying optimizer (schema + constraints).
+    pub fn optimizer(&self) -> &Optimizer {
+        &self.optimizer
+    }
+
+    /// The plan cache (hit/miss accounting lives here).
+    pub fn cache(&self) -> &PlanCache {
+        &self.cache
+    }
+
+    /// Plans one request: parameterize, fingerprint, look up — optimizing
+    /// the template only on a miss. The returned plan has the request's
+    /// constants bound back in and is ready to execute.
+    ///
+    /// A miss caches *all* template plans the optimizer emitted
+    /// (best-first); serving always binds the best one. If optimization
+    /// produced no plan (timeout), the template itself is cached as the
+    /// only plan — the request then executes as written, and so does every
+    /// later request with the same shape.
+    pub fn plan(&mut self, q: &Query) -> ServedPlan {
+        let parameterized = parameterize(q);
+        let fp = Fingerprint::new(&parameterized.template, self.optimizer.constraints());
+        if let Some(entry) = self.cache.lookup(&fp, &parameterized.template) {
+            return ServedPlan {
+                plan: bind_params(&entry.plans[0], &parameterized.params),
+                cache_hit: true,
+            };
+        }
+        let result = self
+            .optimizer
+            .optimize(&parameterized.template, &self.config);
+        let mut plans: Vec<Query> = result.plans.into_iter().map(|p| p.query).collect();
+        if plans.is_empty() {
+            plans.push(parameterized.template.clone());
+        }
+        let best = bind_params(&plans[0], &parameterized.params);
+        self.cache.insert(
+            fp,
+            CachedPlans {
+                template: parameterized.template,
+                plans,
+                explored: result.explored,
+            },
+        );
+        ServedPlan {
+            plan: best,
+            cache_hit: false,
+        }
+    }
+
+    /// Plans and executes one request against `db`.
+    pub fn serve(&mut self, db: &Database, q: &Query) -> ServedResult {
+        let served = self.plan(q);
+        debug_assert!(
+            unbound_param(&served.plan).is_none(),
+            "served plan still contains a parameter placeholder"
+        );
+        let exec = execute(db, &served.plan)?;
+        Ok((served, exec))
+    }
+
+    /// Plans all requests (sequentially — planning mutates the cache),
+    /// then executes the bound plans on up to `threads` scoped workers
+    /// sharing `db` read-only, morsel-style over the atomic work queue.
+    /// Results come back in request order regardless of scheduling, so the
+    /// served row sets are identical at any thread count.
+    pub fn serve_batch(
+        &mut self,
+        db: &Database,
+        requests: &[Query],
+        threads: usize,
+    ) -> Vec<ServedResult> {
+        let served: Vec<ServedPlan> = requests.iter().map(|q| self.plan(q)).collect();
+        let threads = parallel::resolve_threads(threads);
+        let chunk = parallel::WorkQueue::balanced_chunk(served.len(), threads);
+        let mut results = parallel::map_chunked(
+            threads,
+            served.len(),
+            chunk,
+            || (),
+            |_, i| Some(execute(db, &served[i].plan)),
+        );
+        results
+            .iter_mut()
+            .zip(served)
+            .map(|(slot, plan)| {
+                let exec = slot
+                    .take()
+                    .expect("no deadline: every request is evaluated");
+                exec.map(|e| (plan, e))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnb_core::prelude::{chase_and_backchase_runs, Strategy};
+    use cnb_ir::prelude::*;
+
+    /// EC1-style single relation with a primary index, point lookups.
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_relation(
+            "R",
+            [
+                (sym("K"), Type::Int),
+                (sym("N"), Type::Int),
+                (sym("D"), Type::Int),
+            ],
+        );
+        add_primary_index(&mut s, sym("R"), sym("K"), "PI");
+        s
+    }
+
+    fn db(schema: &Schema) -> Database {
+        let mut db = Database::new();
+        let rows: Vec<Value> = (0..50)
+            .map(|i| {
+                Value::record([
+                    (sym("K"), Value::Int(i)),
+                    (sym("N"), Value::Int((i * 7) % 50)),
+                    (sym("D"), Value::Int(i * 100)),
+                ])
+            })
+            .collect();
+        db.load_table(sym("R"), rows);
+        db.materialize_physical(schema).unwrap();
+        db
+    }
+
+    fn point(k: i64) -> Query {
+        let mut q = Query::new();
+        let r = q.bind("r", Range::Name(sym("R")));
+        q.equate(PathExpr::from(r).dot("K"), PathExpr::from(k));
+        q.output("D", PathExpr::from(r).dot("D"));
+        q
+    }
+
+    #[test]
+    fn warm_hits_skip_the_optimizer_and_answer_correctly() {
+        let schema = schema();
+        let db = db(&schema);
+        let mut server = PlanServer::new(
+            Optimizer::new(schema),
+            OptimizerConfig::with_strategy(Strategy::Full),
+        );
+
+        let (cold, rows) = server.serve(&db, &point(3)).unwrap();
+        assert!(!cold.cache_hit);
+        assert_eq!(
+            rows.rows,
+            vec![Value::record([(sym("D"), Value::Int(300))])]
+        );
+
+        // Different constant, same shape: a hit, and no C&B run.
+        let runs_before = chase_and_backchase_runs();
+        let (warm, rows) = server.serve(&db, &point(7)).unwrap();
+        assert!(warm.cache_hit);
+        assert_eq!(
+            chase_and_backchase_runs(),
+            runs_before,
+            "a warm cache hit must not invoke chase_and_backchase"
+        );
+        assert_eq!(
+            rows.rows,
+            vec![Value::record([(sym("D"), Value::Int(700))])]
+        );
+        assert_eq!((server.cache().hits(), server.cache().misses()), (1, 1));
+    }
+
+    #[test]
+    fn batch_results_are_request_ordered_at_any_thread_count() {
+        let schema = schema();
+        let db = db(&schema);
+        let requests: Vec<Query> = (0..20).map(|i| point(i % 10)).collect();
+        let baseline: Vec<Vec<Value>> = {
+            let mut server = PlanServer::new(
+                Optimizer::new(schema.clone()),
+                OptimizerConfig::with_strategy(Strategy::Full),
+            );
+            server
+                .serve_batch(&db, &requests, 1)
+                .into_iter()
+                .map(|r| r.unwrap().1.rows)
+                .collect()
+        };
+        for threads in [2, 4, 8] {
+            let mut server = PlanServer::new(
+                Optimizer::new(schema.clone()),
+                OptimizerConfig::with_strategy(Strategy::Full),
+            );
+            let got: Vec<Vec<Value>> = server
+                .serve_batch(&db, &requests, threads)
+                .into_iter()
+                .map(|r| r.unwrap().1.rows)
+                .collect();
+            assert_eq!(got, baseline, "threads={threads}");
+            // One shape across all 20 requests: a single cold miss.
+            assert_eq!(server.cache().misses(), 1);
+            assert_eq!(server.cache().hits(), 19);
+        }
+    }
+
+    #[test]
+    fn executor_rejects_unbound_templates() {
+        let schema = schema();
+        let db = db(&schema);
+        let template = cnb_core::prelude::parameterize(&point(3)).template;
+        let err = execute(&db, &template).unwrap_err();
+        assert!(err.to_string().contains("unbound parameter"), "got: {err}");
+    }
+}

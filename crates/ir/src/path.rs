@@ -113,6 +113,26 @@ impl PathExpr {
         }
     }
 
+    /// Rewrites every constant through `f`, leaving the shape intact — the
+    /// dual of [`PathExpr::map_vars`]. The serving path uses this twice:
+    /// lifting constants into [`Value::Param`] placeholders when a query is
+    /// templated, and substituting the actual values back into a cached
+    /// plan at bind time.
+    pub fn map_consts(&self, f: &mut impl FnMut(&Value) -> Value) -> PathExpr {
+        match self {
+            PathExpr::Var(v) => PathExpr::Var(*v),
+            PathExpr::Const(c) => PathExpr::Const(f(c)),
+            PathExpr::Field(base, field) => PathExpr::Field(Box::new(base.map_consts(f)), *field),
+            PathExpr::Lookup(dict, key) => PathExpr::Lookup(*dict, Box::new(key.map_consts(f))),
+            PathExpr::MkStruct(fields) => PathExpr::MkStruct(
+                fields
+                    .iter()
+                    .map(|(name, p)| (*name, p.map_consts(f)))
+                    .collect(),
+            ),
+        }
+    }
+
     /// Number of AST nodes; used as a crude complexity measure.
     pub fn size(&self) -> usize {
         match self {
@@ -238,6 +258,25 @@ mod tests {
         let p = PathExpr::from(Var(0)).dot("A");
         let q = p.map_vars(&mut |_| PathExpr::from(Var(7)));
         assert_eq!(q, PathExpr::from(Var(7)).dot("A"));
+    }
+
+    #[test]
+    fn map_consts_substitution() {
+        let p = PathExpr::MkStruct(vec![
+            (sym("A"), PathExpr::from(Var(1)).dot("A")),
+            (sym("B"), PathExpr::from(Value::Param(0)).dot("F")),
+        ]);
+        let q = p.map_consts(&mut |c| match c {
+            Value::Param(0) => Value::Int(42),
+            other => other.clone(),
+        });
+        assert_eq!(
+            q,
+            PathExpr::MkStruct(vec![
+                (sym("A"), PathExpr::from(Var(1)).dot("A")),
+                (sym("B"), PathExpr::from(Value::Int(42)).dot("F")),
+            ])
+        );
     }
 
     #[test]

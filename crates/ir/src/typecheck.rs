@@ -142,6 +142,9 @@ pub fn value_type(v: &Value) -> Result<Type, TypeError> {
             None => err("cannot infer the element type of an empty set"),
         },
         Value::Null => err("null has no type"),
+        Value::Param(k) => err(format!(
+            "parameter placeholder ?{k} has no type — bind parameters before typechecking"
+        )),
     }
 }
 

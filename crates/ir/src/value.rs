@@ -31,6 +31,12 @@ pub enum Value {
     Set(Arc<[Value]>),
     /// Absent value (outer contexts only; never produced by the optimizer).
     Null,
+    /// Parameter placeholder `?k` in a query *template* (serving path).
+    /// Behaves as an opaque constant during optimization — two distinct
+    /// parameters never compare equal, so any plan derived for the template
+    /// is sound for every binding — and must be substituted out via the
+    /// cache's bind step before execution.
+    Param(u32),
 }
 
 impl Value {
@@ -81,6 +87,7 @@ impl Value {
             Value::Struct(_) => "struct",
             Value::Set(_) => "set",
             Value::Null => "null",
+            Value::Param(_) => "param",
         }
     }
 }
@@ -96,6 +103,7 @@ impl PartialEq for Value {
             (Value::Struct(a), Value::Struct(b)) => a == b,
             (Value::Set(a), Value::Set(b)) => a == b,
             (Value::Null, Value::Null) => true,
+            (Value::Param(a), Value::Param(b)) => a == b,
             _ => false,
         }
     }
@@ -118,6 +126,7 @@ impl std::hash::Hash for Value {
             Value::Struct(fields) => fields.hash(state),
             Value::Set(items) => items.hash(state),
             Value::Null => {}
+            Value::Param(k) => k.hash(state),
         }
     }
 }
@@ -151,6 +160,7 @@ impl fmt::Display for Value {
                 write!(f, "}}")
             }
             Value::Null => write!(f, "null"),
+            Value::Param(k) => write!(f, "?{k}"),
         }
     }
 }
@@ -233,6 +243,16 @@ mod tests {
         assert_eq!(Value::Oid(sym("M1"), 3).to_string(), "M1#3");
         let v = Value::record([(sym("A"), Value::Int(1))]);
         assert_eq!(v.to_string(), "struct(A: 1)");
+    }
+
+    #[test]
+    fn param_placeholder_semantics() {
+        assert_eq!(Value::Param(0), Value::Param(0));
+        assert_ne!(Value::Param(0), Value::Param(1));
+        assert_ne!(Value::Param(0), Value::Int(0));
+        assert_eq!(h(&Value::Param(2)), h(&Value::Param(2)));
+        assert_eq!(Value::Param(3).to_string(), "?3");
+        assert_eq!(Value::Param(0).kind(), "param");
     }
 
     #[test]

@@ -125,6 +125,16 @@ impl Workload for Ec1 {
         self.generate(scale.rows, 0.3, scale.seed)
     }
 
+    fn serving_query(&self, scale: DataScale, pick: u64) -> Query {
+        // Point lookup on the chain head: K is serial over [0, rows), so
+        // every pick anchors the chain at exactly one R1 tuple.
+        let mut q = self.query();
+        let head = q.from[0].var;
+        let k = (pick % scale.rows.max(1) as u64) as i64;
+        q.equate(PathExpr::from(head).dot("K"), PathExpr::from(k));
+        q
+    }
+
     fn expectations(&self) -> Expectations {
         Expectations {
             strategy: Strategy::Oqf,

@@ -222,6 +222,16 @@ impl Workload for Ec2 {
         })
     }
 
+    fn serving_query(&self, scale: DataScale, pick: u64) -> Query {
+        // Point lookup on the first hub's serial key: anchors the whole
+        // chain of stars at one hub tuple per request.
+        let mut q = self.query();
+        let hub1 = q.from[0].var;
+        let k = (pick % scale.rows.max(1) as u64) as i64;
+        q.equate(PathExpr::from(hub1).dot("K"), PathExpr::from(k));
+        q
+    }
+
     fn expectations(&self) -> Expectations {
         Expectations {
             strategy: Strategy::Full,

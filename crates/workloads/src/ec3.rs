@@ -216,6 +216,19 @@ impl Workload for Ec3 {
         self.generate((scale.rows / 3).max(2), 3, scale.seed)
     }
 
+    fn serving_query(&self, scale: DataScale, pick: u64) -> Query {
+        // Navigation from one specific root object: pin the first
+        // dictionary key to an oid in the generated [0, objects) id space.
+        let mut q = self.query();
+        let k1 = q.from[0].var;
+        let objects = (scale.rows / 3).max(2) as u64;
+        q.equate(
+            PathExpr::from(k1),
+            PathExpr::from(Value::Oid(self.class(1), pick % objects)),
+        );
+        q
+    }
+
     fn expectations(&self) -> Expectations {
         Expectations {
             strategy: Strategy::Full,

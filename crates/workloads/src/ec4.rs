@@ -221,6 +221,20 @@ impl Workload for Ec4 {
         })
     }
 
+    fn serving_query(&self, scale: DataScale, pick: u64) -> Query {
+        // Dimension-sliced star: filter the first dimension's attribute,
+        // which `generate_at` draws uniformly from [0, 20) — a ~5 % slice
+        // of the fact join per request.
+        let _ = scale;
+        let mut q = self.query();
+        let d1 = q.from[1].var;
+        q.equate(
+            PathExpr::from(d1).dot("A"),
+            PathExpr::from((pick % 20) as i64),
+        );
+        q
+    }
+
     fn expectations(&self) -> Expectations {
         Expectations {
             strategy: Strategy::Oqf,

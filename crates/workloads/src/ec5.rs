@@ -243,6 +243,16 @@ impl Workload for Ec5 {
         })
     }
 
+    fn serving_query(&self, scale: DataScale, pick: u64) -> Query {
+        // Cycles through one specific node: pin the first edge's source to
+        // an id in the generated [0, nodes) endpoint space.
+        let mut q = self.query();
+        let e1 = q.from[0].var;
+        let node = (pick % (scale.rows / 2).max(2) as u64) as i64;
+        q.equate(PathExpr::from(e1).dot("S"), PathExpr::from(node));
+        q
+    }
+
     fn expectations(&self) -> Expectations {
         Expectations {
             strategy: Strategy::Full,

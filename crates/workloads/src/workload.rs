@@ -86,6 +86,19 @@ pub trait Workload {
     /// The invariants this instance promises (see [`Expectations`]).
     fn expectations(&self) -> Expectations;
 
+    /// One request of the family's *serving mix*: the central query
+    /// specialized with a selective constant predicate derived from `pick`
+    /// (e.g. a point lookup on a serial key). All picks of a family share
+    /// one query shape, so a plan cache keyed by canonical fingerprint
+    /// sees a miss on the first request and hits on every later one; the
+    /// constant is chosen within the `scale`'s generated value domain so
+    /// requests probe data that exists. The default is the central query
+    /// unchanged (a family with no natural parameter still serves).
+    fn serving_query(&self, scale: DataScale, pick: u64) -> Query {
+        let _ = (scale, pick);
+        self.query()
+    }
+
     /// Every constraint optimization runs under: semantic constraints plus
     /// both directions of every skeleton.
     fn constraints(&self) -> Vec<Constraint> {
@@ -128,6 +141,34 @@ mod tests {
         let s = DataScale::new(10, 3);
         assert_eq!(s, DataScale { rows: 10, seed: 3 });
         assert_eq!(DataScale::smoke(), DataScale::smoke());
+    }
+
+    /// Every family's serving mix is well-formed: each pick typechecks,
+    /// validates, and all picks of a family share one canonical template
+    /// shape (so a plan cache sees exactly one cold miss per family).
+    #[test]
+    fn serving_queries_share_one_shape_per_family() {
+        use cnb_core::prelude::parameterize;
+        let scale = DataScale::smoke();
+        for w in suite() {
+            let schema = w.schema();
+            let shape0 = parameterize(&w.serving_query(scale, 0))
+                .template
+                .canonical_key();
+            for pick in 0..8u64 {
+                let q = w.serving_query(scale, pick);
+                q.validate()
+                    .unwrap_or_else(|e| panic!("{} pick {pick}: invalid: {e}", w.name()));
+                cnb_ir::prelude::check_query(&schema, &q)
+                    .unwrap_or_else(|e| panic!("{} pick {pick}: ill-typed: {e}", w.name()));
+                assert_eq!(
+                    parameterize(&q).template.canonical_key(),
+                    shape0,
+                    "{} pick {pick}: serving shape drifted",
+                    w.name()
+                );
+            }
+        }
     }
 
     /// Every suite member typechecks its query, keeps its expectations

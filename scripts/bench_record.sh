@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
-# Records the backchase perf trajectory (fig. 6/7 workloads plus the EC4
-# star-schema and EC5 cyclic-join workloads of figs. 11/12, full backchase,
-# 1/2/4 worker threads) plus two micro sections into BENCH_backchase.json at
-# the repo root: micro.congruence (savepoint churn) and micro.execution
-# (batched vs. tuple-at-a-time join throughput on the EC1 chain — the
-# batched path must not be slower).
-# Fully offline; ~half a minute of measurement on a laptop-class core.
+# Records the perf trajectory into JSON files at the repo root:
+# * BENCH_backchase.json — optimization-time numbers (fig. 6/7 workloads
+#   plus the EC4 star-schema and EC5 cyclic-join workloads of figs. 11/12,
+#   full backchase, 1/2/4 worker threads) plus two micro sections:
+#   micro.congruence (savepoint churn) and micro.execution (batched vs.
+#   tuple-at-a-time join throughput on the EC1 chain — the batched path
+#   must not be slower).
+# * BENCH_serving.json — the serving path: closed-loop QPS and p50/p95/p99
+#   per-request latency for each EC1–EC5 parameterized serving mix plus the
+#   pooled mix, at 1/2/4 executor threads, with plan-cache hit rates.
+# Fully offline; ~a minute of measurement on a laptop-class core.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release -q --bin record_backchase" >&2
-cargo build --release -q --bin record_backchase
+echo "==> cargo build --release -q --bin record_backchase --bin record_serving" >&2
+cargo build --release -q --bin record_backchase --bin record_serving
 
 # Never record numbers for a workspace the static-analysis gate rejects:
 # a lint or validation finding means the measured code is off-contract.
@@ -25,20 +29,26 @@ if ! cargo run --release -q -p cnb-analyze -- validate-suite >&2; then
 fi
 
 # Recording with a stale binary silently benchmarks old code; fail loudly if
-# the build somehow left the binary missing or older than any library/binary
+# the build somehow left a binary missing or older than any library/binary
 # source it is built from (benches/ and tests/ are not in its build graph,
 # so cargo legitimately skips relinking when only those change).
-bin=target/release/record_backchase
-if [[ ! -x "$bin" ]]; then
-  echo "error: $bin missing after the release build — refusing to record" >&2
-  exit 1
-fi
-stale=$(find crates/*/src src -name '*.rs' -newer "$bin" -print -quit)
-if [[ -n "$stale" ]]; then
-  echo "error: release build is stale ($stale is newer than $bin) — refusing to record" >&2
-  exit 1
-fi
+for name in record_backchase record_serving; do
+  bin=target/release/$name
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin missing after the release build — refusing to record" >&2
+    exit 1
+  fi
+  stale=$(find crates/*/src src -name '*.rs' -newer "$bin" -print -quit)
+  if [[ -n "$stale" ]]; then
+    echo "error: release build is stale ($stale is newer than $bin) — refusing to record" >&2
+    exit 1
+  fi
+done
 
-"./$bin" >BENCH_backchase.json
+./target/release/record_backchase >BENCH_backchase.json
 echo "wrote $(pwd)/BENCH_backchase.json:"
 cat BENCH_backchase.json
+
+./target/release/record_serving >BENCH_serving.json
+echo "wrote $(pwd)/BENCH_serving.json:"
+cat BENCH_serving.json

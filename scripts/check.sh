@@ -41,6 +41,22 @@ for t in 1 4; do
     cost_observation_feedback_matches_arithmetic_mean
 done
 
+# Serving tier: the canonical-fingerprint plan cache and the executor
+# worker pool. The smoke suite pins the serving contract — row sets
+# identical at 1/2/4/8 executor threads, warm hits answering without chase
+# & backchase (audited by counter), point picks partitioning the central
+# query, every served plan passing validate_plan — and the byte-identity
+# property checks warm-cache plans against cold-path plans. Both run in the
+# sequential and parallel backchase tiers; a tiny closed-loop QPS window
+# then exercises the recording binary end to end.
+for t in 1 4; do
+  echo "==> CNB_THREADS=$t serving smoke (plan cache + executor pool)"
+  CNB_THREADS=$t cargo test -q -p cnb-bench --test serving_smoke
+  CNB_THREADS=$t cargo test -q --test property_based -- cache_hits_serve_byte_identical_plans
+done
+echo "==> serving QPS smoke (record_serving, tiny window)"
+CNB_SERVING_REQUESTS=8 CNB_ROWS=80 cargo run --release -q --bin record_serving >/dev/null
+
 echo "==> CNB_THREADS=1 cargo test -q   (sequential backchase)"
 CNB_THREADS=1 cargo test -q
 

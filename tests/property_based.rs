@@ -463,11 +463,13 @@ fn parallel_backchase_differential_ec5() {
 // ------------------------------------------------ Cost model feedback --
 
 /// Observation feedback on `cnb_core::cost::CostModel`, seeded by real
-/// `ExecStats` from the EC4/EC5 workloads: measured collection
-/// cardinalities replace estimates exactly; the first join-selectivity
-/// sample replaces the static default; subsequent samples fold in as a
+/// `ExecStats` from the EC4/EC5 workloads: the first measurement of any
+/// parameter — collection cardinality, join selectivity, set fan-out —
+/// replaces the static estimate; subsequent measurements fold in as a
 /// running mean that must equal the arithmetic mean of everything observed;
-/// and the sample counters track the feed.
+/// and the sample counters track the feed. All three observation channels
+/// follow the same policy, so repeated cached-plan execution converges
+/// instead of letting the last batch overwrite the state.
 #[test]
 fn cost_observation_feedback_matches_arithmetic_mean() {
     use chase_too_far::core::prelude::CostModel;
@@ -494,18 +496,44 @@ fn cost_observation_feedback_matches_arithmetic_mean() {
                 all_stats.push(execute(&db, &p.query).unwrap().stats);
             }
 
-            // Cardinality feedback is exact replacement, and the main
-            // collection's measured size is the generated table's size.
+            // Cardinality feedback: the first measurement replaces the
+            // estimate exactly, and the main collection's measured size is
+            // the generated table's size.
             let mut model = CostModel::default();
             feed_cost_model(&all_stats[0], &mut model);
-            for (name, card) in all_stats[0].observed_cardinalities() {
-                assert_eq!(model.cardinalities.get(&name), Some(&card), "{name}");
-            }
             assert_eq!(
                 model.cardinalities.get(&anchor),
                 Some(&(db.table(anchor).len() as f64)),
                 "anchor table cardinality must be measured exactly"
             );
+
+            // Feed every execution and replay the same observations by
+            // hand: each collection's stored cardinality must equal the
+            // arithmetic mean of all its measurements (first sample
+            // replaces, later ones average — the same policy as
+            // selectivity/fanout), and the per-collection sample counter
+            // must track the feed.
+            let mut model = CostModel::default().with_cardinality(anchor, 1e9);
+            let mut by_name: std::collections::BTreeMap<String, Vec<f64>> = Default::default();
+            for stats in &all_stats {
+                feed_cost_model(stats, &mut model);
+                for (name, card) in stats.observed_cardinalities() {
+                    by_name.entry(name.to_string()).or_default().push(card);
+                }
+            }
+            for (name, cards) in &by_name {
+                let got = *model.cardinalities.get(&sym(name)).unwrap();
+                let m = mean(cards);
+                assert!(
+                    (got - m).abs() <= 1e-12 + 1e-9 * m,
+                    "{name}: running mean {got} != arithmetic mean {m} \
+                     (builder seed must not count as a sample)"
+                );
+                assert_eq!(
+                    model.cardinality_samples.get(&sym(name)),
+                    Some(&cards.len())
+                );
+            }
 
             // Selectivity feedback: replay the same samples by hand and compare
             // against the arithmetic mean.
@@ -646,4 +674,45 @@ fn minimization_shrinks_and_preserves() {
             );
         }
     });
+}
+
+// ------------------------------------------------------- Serving path --
+
+/// A plan served from a warm cache hit is *byte-identical* to the plan a
+/// cold server (fresh optimizer, empty cache) produces for the same
+/// request: planning is a pure function of the parameterized template and
+/// the constraint set, so binding cached template plans at execution time
+/// must be indistinguishable from re-planning — rendered text and
+/// structure both.
+#[test]
+fn cache_hits_serve_byte_identical_plans() {
+    use chase_too_far::engine::PlanServer;
+    use chase_too_far::workloads::{suite, DataScale};
+    let scale = DataScale::smoke();
+    for w in suite() {
+        let strategy = w.expectations().strategy;
+        let mut warm = PlanServer::new(w.optimizer(), OptimizerConfig::with_strategy(strategy));
+        let planted = warm.plan(&w.serving_query(scale, 0));
+        assert!(!planted.cache_hit, "{}: first request must miss", w.name());
+        for pick in [1u64, 5, 13] {
+            let q = w.serving_query(scale, pick);
+            let hit = warm.plan(&q);
+            assert!(hit.cache_hit, "{}: pick {pick} must hit", w.name());
+            let mut cold = PlanServer::new(w.optimizer(), OptimizerConfig::with_strategy(strategy));
+            let miss = cold.plan(&q);
+            assert!(!miss.cache_hit);
+            assert_eq!(
+                hit.plan.to_string(),
+                miss.plan.to_string(),
+                "{} pick {pick}: cached plan renders differently from the cold plan",
+                w.name()
+            );
+            assert_eq!(
+                hit.plan,
+                miss.plan,
+                "{} pick {pick}: cached plan differs structurally from the cold plan",
+                w.name()
+            );
+        }
+    }
 }
