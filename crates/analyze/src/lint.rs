@@ -7,11 +7,12 @@
 //! decision. This lint scans `crates/{core,engine,ir,workloads}` and
 //! denies:
 //!
-//! | rule           | pattern                                | use instead                         |
-//! |----------------|----------------------------------------|-------------------------------------|
-//! | `std-hash-map` | `HashMap` / `HashSet`                  | `cnb_core::fxhash` maps             |
-//! | `wall-clock`   | `Instant::now` / `SystemTime::now`     | `cnb_bench` timing paths, annotated |
-//! | `thread-id`    | `thread::current`                      | nothing — logic must not know       |
+//! | rule            | pattern                                | use instead                         |
+//! |-----------------|----------------------------------------|-------------------------------------|
+//! | `std-hash-map`  | `HashMap` / `HashSet`                  | `cnb_core::fxhash` maps             |
+//! | `wall-clock`    | `Instant::now` / `SystemTime::now`     | `cnb_bench` timing paths, annotated |
+//! | `thread-id`     | `thread::current`                      | nothing — logic must not know       |
+//! | `serving-clock` | wall-clock reads in the serving layer  | the injectable `cnb_engine::Clock`  |
 //!
 //! A line (or the standalone comment line directly above it) may carry
 //! `// cnb-lint: allow(<rule>)` to suppress a rule where the use is
@@ -19,6 +20,15 @@
 //! influence emitted plans, and the bench crate's own timing code.
 //! Comments are stripped before matching, so prose about `HashMap` in
 //! docs does not trip the scanner.
+//!
+//! `serving-clock` is the strict tier: in the serving layer
+//! ([`SERVING_CLOCK_FILES`]) every wall-clock needle is reported under this
+//! rule and **no allow-annotation suppresses it**. Deadline decisions there
+//! must flow through the injectable `cnb_engine::clock::Clock` trait — the
+//! single sanctioned time source for serving (its `WallClock` impl lives in
+//! `clock.rs`, outside the strict set, behind the ordinary annotated
+//! escape) — so tests can substitute virtual time and batch outcomes stay
+//! reproducible.
 //!
 //! The scanner is line-based on purpose: no parser, no dependencies, and
 //! robust to the subset of Rust this workspace uses. It does not see
@@ -30,8 +40,27 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The lint rules, in reporting order.
-pub const LINT_RULES: [&str; 3] = ["std-hash-map", "wall-clock", "thread-id"];
+/// The lint rules, in reporting order. `serving-clock` is strict: it
+/// re-tags wall-clock hits inside [`SERVING_CLOCK_FILES`] and cannot be
+/// suppressed by annotation.
+pub const LINT_RULES: [&str; 4] = ["std-hash-map", "wall-clock", "thread-id", "serving-clock"];
+
+/// Files where wall-clock reads are denied unconditionally — the serving
+/// layer, whose only sanctioned time source is the injectable
+/// `cnb_engine::clock::Clock`. Matched by suffix so both workspace-relative
+/// report names and bare basenames qualify.
+pub const SERVING_CLOCK_FILES: [&str; 2] = [
+    "crates/engine/src/serving.rs",
+    "crates/engine/src/pressure.rs",
+];
+
+/// True when `file` falls under the strict serving-clock tier.
+fn serving_clock_scope(file: &str) -> bool {
+    let norm = file.replace('\\', "/");
+    SERVING_CLOCK_FILES
+        .iter()
+        .any(|f| norm == *f || norm.ends_with(&format!("/{f}")))
+}
 
 /// The crates the determinism contract covers. `cnb-bench` is excluded:
 /// measuring wall time is its job. `cnb-analyze` itself never runs inside
@@ -140,17 +169,25 @@ pub fn lint_source(file: &str, content: &str) -> Vec<LintViolation> {
             Vec::new()
         };
         for (rule, ns) in &rules {
-            if allowed.contains(rule) {
+            if !ns.iter().any(|n| contains_token(code, n)) {
                 continue;
             }
-            if ns.iter().any(|n| contains_token(code, n)) {
-                out.push(LintViolation {
-                    file: file.to_string(),
-                    line: idx + 1,
-                    rule,
-                    snippet: raw.trim().to_string(),
-                });
+            // In the serving layer, a wall-clock hit is the strict
+            // serving-clock rule: no annotation suppresses it there.
+            let (rule, suppressible) = if *rule == "wall-clock" && serving_clock_scope(file) {
+                ("serving-clock", false)
+            } else {
+                (*rule, true)
+            };
+            if suppressible && allowed.contains(&rule) {
+                continue;
             }
+            out.push(LintViolation {
+                file: file.to_string(),
+                line: idx + 1,
+                rule,
+                snippet: raw.trim().to_string(),
+            });
         }
     }
     out
@@ -217,9 +254,20 @@ mod tests {
     fn seeded(rule: &str) -> String {
         match rule {
             "std-hash-map" => format!("    let m: {}Map<u32, u32> = Default::default();", "Hash"),
-            "wall-clock" => format!("    let t0 = Instant{}now();", "::"),
+            // serving-clock is the wall-clock needle in a strict file.
+            "wall-clock" | "serving-clock" => format!("    let t0 = Instant{}now();", "::"),
             "thread-id" => format!("    let id = thread{}current().id();", "::"),
             _ => unreachable!(),
+        }
+    }
+
+    /// A file name that puts `rule` in scope: strict rules need a serving
+    /// file, everything else fires anywhere.
+    fn scoped_file(rule: &str) -> &'static str {
+        if rule == "serving-clock" {
+            "crates/engine/src/serving.rs"
+        } else {
+            "seed.rs"
         }
     }
 
@@ -227,11 +275,41 @@ mod tests {
     fn every_rule_fires_on_a_seeded_violation() {
         for rule in LINT_RULES {
             let src = format!("fn f() {{\n{}\n}}\n", seeded(rule));
-            let found = lint_source("seed.rs", &src);
+            let found = lint_source(scoped_file(rule), &src);
             assert_eq!(found.len(), 1, "{rule}: {found:?}");
             assert_eq!(found[0].rule, rule);
             assert_eq!(found[0].line, 2);
         }
+    }
+
+    #[test]
+    fn serving_clock_is_not_suppressible_by_any_annotation() {
+        for file in SERVING_CLOCK_FILES {
+            for allow in ["wall-clock", "serving-clock"] {
+                let src = format!(
+                    "// cnb-lint: allow({allow})\n{}\n{} // cnb-lint: allow({allow})\n",
+                    seeded("wall-clock"),
+                    seeded("wall-clock")
+                );
+                let found = lint_source(file, &src);
+                assert_eq!(found.len(), 2, "{file} allow({allow}): {found:?}");
+                assert!(found.iter().all(|v| v.rule == "serving-clock"));
+            }
+        }
+    }
+
+    #[test]
+    fn serving_clock_scope_matches_by_suffix_only() {
+        let needle = seeded("wall-clock");
+        // A path-qualified serving file is strict…
+        let strict = format!("/abs/root/{}", SERVING_CLOCK_FILES[1]);
+        let found = lint_source(&strict, &format!("{needle}\n"));
+        assert_eq!(found[0].rule, "serving-clock");
+        // …while an unrelated file with a similar name is not, and the
+        // ordinary annotated escape still works there.
+        let src = format!("{needle} // cnb-lint: allow(wall-clock)\n");
+        assert!(lint_source("crates/bench/src/serving.rs", &src).is_empty());
+        assert!(lint_source("crates/engine/src/clock.rs", &src).is_empty());
     }
 
     #[test]

@@ -6,11 +6,18 @@
 //! C&B optimization per family plants the cache and is excluded from the
 //! window but included in the hit-rate denominator), so the numbers are
 //! the "preprocess once, answer many" regime the serving path exists for.
+//!
+//! The `open_loop` section is the pressure picture: per family, scheduled
+//! arrivals at 0.5/0.9/1.2× the measured capacity against a bounded
+//! backlog, with per-request deadlines and seeded fault injection —
+//! shed/expired/faulted/retry counts and p50/p95/p99 sojourn per offered
+//! load (see `cnb_bench::serving::run_open_loop` for the measured-service
+//! + virtual-time-arrival methodology).
 
 // Measuring wall time is this binary's job (see clippy.toml).
 #![allow(clippy::disallowed_methods)]
 
-use cnb_bench::serving::{run_suite, ServingPoint};
+use cnb_bench::serving::{run_open_loop_suite, run_suite, OpenLoopConfig, ServingPoint};
 use cnb_workloads::DataScale;
 
 fn main() {
@@ -60,6 +67,53 @@ fn main() {
             p.rows_total
         );
     }
-    println!("  ]");
+    println!("  ],");
+
+    let open_cfg = OpenLoopConfig {
+        requests: requests.min(200),
+        ..OpenLoopConfig::default()
+    };
+    let open_threads = 4usize;
+    let open_points = run_open_loop_suite(scale, open_threads, &open_cfg);
+    println!("  \"open_loop\": {{");
+    println!(
+        "    \"deadline_ms\": {}, \"max_retries\": {}, \"fail_rate\": {}, \
+         \"fault_seed\": {}, \"backlog_cap\": {}, \"threads\": {open_threads},",
+        open_cfg.deadline.as_millis(),
+        open_cfg.max_retries,
+        open_cfg.fail_rate,
+        open_cfg.fault_seed,
+        open_cfg.backlog_cap
+    );
+    println!("    \"points\": [");
+    for (i, p) in open_points.iter().enumerate() {
+        let comma = if i + 1 < open_points.len() { "," } else { "" };
+        assert_eq!(
+            p.served + p.shed + p.expired + p.faulted,
+            p.requests,
+            "{}: open-loop buckets must reconcile",
+            p.label
+        );
+        println!(
+            "      {{\"label\": \"{}\", \"utilization\": {:.2}, \"offered_qps\": {:.1}, \
+             \"requests\": {}, \"served\": {}, \"shed\": {}, \"expired\": {}, \
+             \"faulted\": {}, \"retries\": {}, \
+             \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \"p99_ms\": {:.4}}}{comma}",
+            p.label,
+            p.utilization,
+            p.offered_qps,
+            p.requests,
+            p.served,
+            p.shed,
+            p.expired,
+            p.faulted,
+            p.retries,
+            p.p50_ms,
+            p.p95_ms,
+            p.p99_ms
+        );
+    }
+    println!("    ]");
+    println!("  }}");
     println!("}}");
 }

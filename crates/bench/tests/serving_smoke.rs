@@ -168,3 +168,53 @@ fn harness_smoke_runs_and_validates_served_plans() {
         );
     }
 }
+
+/// The open-loop harness reconciles: every scheduled arrival lands in
+/// exactly one outcome bucket, saturation (utilization > 1) produces
+/// pressure casualties, and light load serves nearly everything.
+#[test]
+fn open_loop_buckets_reconcile_and_pressure_shows_up() {
+    use cnb_bench::serving::{run_open_loop, OpenLoopConfig};
+    let scale = DataScale::new(80, 7);
+    let cfg = OpenLoopConfig {
+        requests: 60,
+        utilizations: vec![0.5, 3.0],
+        backlog_cap: 8,
+        ..OpenLoopConfig::default()
+    };
+    for w in suite() {
+        let points = run_open_loop(w.as_ref(), scale, 2, &cfg);
+        assert_eq!(points.len(), 2, "{}", w.name());
+        for p in &points {
+            assert_eq!(
+                p.served + p.shed + p.expired + p.faulted,
+                p.requests,
+                "{} u={}: buckets must reconcile",
+                p.label,
+                p.utilization
+            );
+            assert!(
+                p.p50_ms <= p.p95_ms && p.p95_ms <= p.p99_ms,
+                "{} u={}: sojourn percentiles must be monotone",
+                p.label,
+                p.utilization
+            );
+        }
+        let (light, heavy) = (&points[0], &points[1]);
+        assert!(
+            light.served + light.faulted == light.requests,
+            "{}: at half load nothing should be shed or expired (got {light:?})",
+            w.name()
+        );
+        assert!(
+            heavy.shed + heavy.expired > 0,
+            "{}: at 3x capacity the backlog/deadline must bite (got {heavy:?})",
+            w.name()
+        );
+        assert!(
+            heavy.served < heavy.requests,
+            "{}: overload cannot serve everyone",
+            w.name()
+        );
+    }
+}

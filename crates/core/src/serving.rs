@@ -208,48 +208,174 @@ pub struct CachedPlans {
     pub explored: usize,
 }
 
-/// The plan cache: [`Fingerprint`] → [`CachedPlans`], with hit/miss
+/// One resident cache entry plus its eviction-policy bookkeeping.
+#[derive(Clone, Debug)]
+struct Slot {
+    plans: CachedPlans,
+    /// Observed lookup hits on this entry (the frequency signal).
+    freq: u64,
+    /// Insertion sequence number — the deterministic tie-break, and unique
+    /// per slot, so victim selection never depends on map iteration order.
+    seq: u64,
+    /// True once the entry has graduated out of probation.
+    protected: bool,
+}
+
+/// The plan cache: [`Fingerprint`] → [`CachedPlans`], with hit/miss/eviction
 /// accounting. Deterministic fxhash map per the workspace lint.
+///
+/// [`PlanCache::new`] is unbounded (the original behavior);
+/// [`PlanCache::bounded`] caps residency at a fixed number of shapes and
+/// evicts by **observed frequency, segmented**: every shape enters a
+/// *probation* segment with zero frequency, graduates to the *protected*
+/// segment on its first hit, and eviction always prefers the
+/// least-frequently-hit probation entry (oldest first on ties). A burst of
+/// one-off shapes therefore churns through probation without touching the
+/// protected set — the hot families a workload actually repeats — and only
+/// when probation is empty does eviction reach into protected (again min
+/// `(freq, seq)`). The protected segment is itself capped at
+/// `capacity − max(capacity / 4, 1)` slots so probation always has room to
+/// admit new shapes; overflow demotes the coldest protected entry back to
+/// probation. Victims are a pure function of the lookup/insert history:
+/// `(freq, seq)` pairs are unique, so eviction order is deterministic and
+/// independent of hash-map iteration order.
 #[derive(Clone, Debug, Default)]
 pub struct PlanCache {
-    entries: FxHashMap<Fingerprint, CachedPlans>,
+    entries: FxHashMap<Fingerprint, Slot>,
+    /// `None` = unbounded.
+    capacity: Option<usize>,
+    next_seq: u64,
     hits: usize,
     misses: usize,
+    evictions: usize,
 }
 
 impl PlanCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> PlanCache {
         PlanCache::default()
     }
 
-    /// Looks up a fingerprint, counting a hit or a miss.
+    /// An empty cache holding at most `capacity` shapes. A capacity of 0
+    /// caches nothing (every lookup misses; inserts are dropped).
+    pub fn bounded(capacity: usize) -> PlanCache {
+        PlanCache {
+            capacity: Some(capacity),
+            ..PlanCache::default()
+        }
+    }
+
+    /// The residency bound, or `None` when unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Protected-segment bound for a bounded capacity: always strictly less
+    /// than `capacity`, so probation keeps at least one admission slot.
+    fn protected_cap(capacity: usize) -> usize {
+        capacity.saturating_sub((capacity / 4).max(1))
+    }
+
+    /// Looks up a fingerprint, counting a hit or a miss. A hit bumps the
+    /// entry's observed frequency and (in a bounded cache) graduates it out
+    /// of probation.
     ///
     /// On a hit, debug builds re-verify with [`Query::canonical_key`]
     /// equality against the stored template — the cheap end of the
     /// congruence machinery's plan-identity check — so a fingerprint
     /// collision can never silently serve a foreign shape's plans.
     pub fn lookup(&mut self, fp: &Fingerprint, template: &Query) -> Option<&CachedPlans> {
-        match self.entries.get(fp) {
-            Some(entry) => {
-                debug_assert_eq!(
-                    entry.template.canonical_key(),
-                    template.canonical_key(),
-                    "fingerprint collision: cached template shape differs"
-                );
-                self.hits += 1;
-                Some(entry)
+        let Some(slot) = self.entries.get_mut(fp) else {
+            self.misses += 1;
+            return None;
+        };
+        debug_assert_eq!(
+            slot.template_key(),
+            template.canonical_key(),
+            "fingerprint collision: cached template shape differs"
+        );
+        self.hits += 1;
+        slot.freq += 1;
+        if self.capacity.is_some() && !slot.protected {
+            slot.protected = true;
+            self.shrink_protected();
+        }
+        self.entries.get(fp).map(|s| &s.plans)
+    }
+
+    /// Demotes coldest protected entries back to probation until the
+    /// protected segment fits its cap.
+    fn shrink_protected(&mut self) {
+        let cap = Self::protected_cap(self.capacity.expect("bounded caches only"));
+        loop {
+            let protected = self.entries.values().filter(|s| s.protected).count();
+            if protected <= cap {
+                return;
             }
-            None => {
-                self.misses += 1;
-                None
-            }
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(_, s)| s.protected)
+                .min_by_key(|(_, s)| (s.freq, s.seq))
+                .map(|(fp, _)| fp.clone())
+                .expect("protected count > cap implies a protected entry");
+            self.entries
+                .get_mut(&victim)
+                .expect("victim just selected")
+                .protected = false;
         }
     }
 
-    /// Inserts (or replaces) the plans for a fingerprint.
+    /// Evicts one entry: the min-`(freq, seq)` probation entry, or — only
+    /// when probation is empty — the min-`(freq, seq)` protected entry.
+    fn evict_one(&mut self) {
+        let victim = self
+            .entries
+            .iter()
+            .filter(|(_, s)| !s.protected)
+            .min_by_key(|(_, s)| (s.freq, s.seq))
+            .or_else(|| self.entries.iter().min_by_key(|(_, s)| (s.freq, s.seq)))
+            .map(|(fp, _)| fp.clone());
+        if let Some(fp) = victim {
+            self.entries.remove(&fp);
+            self.evictions += 1;
+        }
+    }
+
+    /// Inserts (or replaces) the plans for a fingerprint, evicting first if
+    /// the cache is bounded and full. Replacing a resident entry keeps its
+    /// frequency standing (re-optimizing a shape is not evidence it went
+    /// cold).
     pub fn insert(&mut self, fp: Fingerprint, entry: CachedPlans) {
-        self.entries.insert(fp, entry);
+        if let Some(slot) = self.entries.get_mut(&fp) {
+            slot.plans = entry;
+            return;
+        }
+        if let Some(cap) = self.capacity {
+            if cap == 0 {
+                return;
+            }
+            while self.entries.len() >= cap {
+                self.evict_one();
+            }
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.insert(
+            fp,
+            Slot {
+                plans: entry,
+                freq: 0,
+                seq,
+                protected: false,
+            },
+        );
+    }
+
+    /// Whether a fingerprint is resident — a pure peek: no counters move,
+    /// no frequency is observed (tests and diagnostics only).
+    pub fn contains(&self, fp: &Fingerprint) -> bool {
+        self.entries.contains_key(fp)
     }
 
     /// Number of cached shapes.
@@ -272,6 +398,16 @@ impl PlanCache {
         self.misses
     }
 
+    /// Entries evicted to make room (0 in an unbounded cache).
+    pub fn evictions(&self) -> usize {
+        self.evictions
+    }
+
+    /// Total lookups — always `hits() + misses()`.
+    pub fn lookups(&self) -> usize {
+        self.hits + self.misses
+    }
+
     /// hits / (hits + misses), or 0.0 before any lookup.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -280,6 +416,12 @@ impl PlanCache {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+}
+
+impl Slot {
+    fn template_key(&self) -> String {
+        self.plans.template.canonical_key()
     }
 }
 
@@ -401,6 +543,152 @@ mod tests {
         assert_eq!((cache.hits(), cache.misses()), (2, 1));
         assert!((cache.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(cache.len(), 1);
+    }
+
+    /// Entry for shape `i` (a point query on table `T{i}`), ready to insert.
+    fn shape(i: usize) -> (Fingerprint, CachedPlans) {
+        let p = parameterize(&point_query(&format!("T{i}"), 1));
+        let fp = Fingerprint::new(&p.template, &[]);
+        let entry = CachedPlans {
+            template: p.template.clone(),
+            plans: vec![p.template],
+            explored: 0,
+        };
+        (fp, entry)
+    }
+
+    #[test]
+    fn bounded_cache_never_exceeds_capacity_and_counts_evictions() {
+        let mut cache = PlanCache::bounded(4);
+        assert_eq!(cache.capacity(), Some(4));
+        for i in 0..10 {
+            let (fp, entry) = shape(i);
+            cache.insert(fp, entry);
+            assert!(cache.len() <= 4, "after insert {i}: len {}", cache.len());
+        }
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.evictions(), 6);
+        // Counter algebra holds regardless of eviction traffic.
+        for i in 0..10 {
+            let (fp, entry) = shape(i);
+            let _resident = cache.lookup(&fp, &entry.template);
+        }
+        assert_eq!(cache.lookups(), cache.hits() + cache.misses());
+        assert_eq!(cache.lookups(), 10);
+    }
+
+    #[test]
+    fn eviction_is_cold_first_and_deterministic() {
+        // Capacity 4, insert 0..4, hit shapes 1 and 3 (they graduate to
+        // protected); the next two inserts must evict the unhit probation
+        // entries 0 then 2, in that order, every run.
+        let run = || {
+            let mut cache = PlanCache::bounded(4);
+            let shapes: Vec<_> = (0..6).map(shape).collect();
+            for (fp, entry) in shapes.iter().take(4) {
+                cache.insert(fp.clone(), entry.clone());
+            }
+            for i in [1usize, 3] {
+                assert!(cache.lookup(&shapes[i].0, &shapes[i].1.template).is_some());
+            }
+            cache.insert(shapes[4].0.clone(), shapes[4].1.clone());
+            assert!(!cache.contains(&shapes[0].0), "coldest (0) evicted first");
+            assert!(cache.contains(&shapes[2].0));
+            cache.insert(shapes[5].0.clone(), shapes[5].1.clone());
+            assert!(!cache.contains(&shapes[2].0), "next coldest (2) second");
+            for i in [1usize, 3, 4, 5] {
+                assert!(cache.contains(&shapes[i].0), "shape {i} resident");
+            }
+            let survivors: Vec<bool> = (0..6).map(|i| cache.contains(&shapes[i].0)).collect();
+            (survivors, cache.evictions())
+        };
+        assert_eq!(run(), run(), "eviction order is reproducible");
+    }
+
+    #[test]
+    fn hot_shapes_survive_a_churn_of_one_off_shapes() {
+        // Five hot families in a capacity-8 cache (protected cap 6): each
+        // gets hit once, then 50 one-off shapes churn through. The hot five
+        // must all still be resident — probation absorbs the churn.
+        let mut cache = PlanCache::bounded(8);
+        let hot: Vec<_> = (0..5).map(shape).collect();
+        for (fp, entry) in &hot {
+            cache.insert(fp.clone(), entry.clone());
+            assert!(cache.lookup(fp, &entry.template).is_some());
+        }
+        for i in 100..150 {
+            let (fp, entry) = shape(i);
+            assert!(cache.lookup(&fp, &entry.template).is_none());
+            cache.insert(fp, entry);
+            assert!(cache.len() <= 8);
+        }
+        for (i, (fp, _)) in hot.iter().enumerate() {
+            assert!(cache.contains(fp), "hot shape {i} was evicted by churn");
+        }
+        assert_eq!(cache.evictions(), 5 + 50 - 8);
+    }
+
+    #[test]
+    fn protected_overflow_demotes_and_probation_keeps_an_admission_slot() {
+        // Hit everything in a capacity-4 cache (protected cap 3): the
+        // coldest graduate is demoted back to probation, so a new shape can
+        // still get in and the cache never thrashes its own hot set.
+        let mut cache = PlanCache::bounded(4);
+        let shapes: Vec<_> = (0..4).map(shape).collect();
+        for (fp, entry) in &shapes {
+            cache.insert(fp.clone(), entry.clone());
+        }
+        // Hit 0 twice, then 1..4 once each; 0 is hottest, 1 is the coldest
+        // protected entry after the demotion cascade.
+        for _ in 0..2 {
+            assert!(cache.lookup(&shapes[0].0, &shapes[0].1.template).is_some());
+        }
+        for (fp, entry) in shapes.iter().skip(1) {
+            assert!(cache.lookup(fp, &entry.template).is_some());
+        }
+        let (fp5, entry5) = shape(5);
+        cache.insert(fp5.clone(), entry5);
+        assert!(cache.contains(&fp5), "new shape admitted at capacity");
+        assert!(cache.contains(&shapes[0].0), "hottest shape survives");
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.evictions(), 1);
+    }
+
+    #[test]
+    fn reinserting_an_evicted_shape_misses_then_hits() {
+        let mut cache = PlanCache::bounded(1);
+        let (fp0, entry0) = shape(0);
+        let (fp1, entry1) = shape(1);
+        cache.insert(fp0.clone(), entry0.clone());
+        cache.insert(fp1, entry1); // evicts shape 0
+        assert!(!cache.contains(&fp0));
+        assert!(cache.lookup(&fp0, &entry0.template).is_none(), "miss: gone");
+        cache.insert(fp0.clone(), entry0.clone()); // re-optimized, re-cached
+        assert!(cache.lookup(&fp0, &entry0.template).is_some(), "hit again");
+        assert_eq!((cache.hits(), cache.misses(), cache.evictions()), (1, 1, 2));
+    }
+
+    #[test]
+    fn zero_capacity_caches_nothing() {
+        let mut cache = PlanCache::bounded(0);
+        let (fp, entry) = shape(0);
+        cache.insert(fp.clone(), entry.clone());
+        assert!(cache.is_empty());
+        assert!(cache.lookup(&fp, &entry.template).is_none());
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let mut cache = PlanCache::new();
+        assert_eq!(cache.capacity(), None);
+        for i in 0..100 {
+            let (fp, entry) = shape(i);
+            cache.insert(fp, entry);
+        }
+        assert_eq!(cache.len(), 100);
+        assert_eq!(cache.evictions(), 0);
     }
 
     #[test]

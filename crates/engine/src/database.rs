@@ -16,7 +16,7 @@
 use cnb_core::fxhash::FxHashMap;
 use cnb_ir::prelude::*;
 
-use crate::error::EngineError;
+use crate::error::ExecError;
 use crate::eval::execute;
 
 /// A dictionary with deterministic, first-insertion iteration order.
@@ -169,7 +169,7 @@ impl Database {
     /// *sets* list rows in table order (first-appearance bucketing, not map
     /// iteration) — so dom-scans and set-path expansions over materialized
     /// structures are run-to-run stable.
-    pub fn materialize_physical(&mut self, schema: &Schema) -> Result<(), EngineError> {
+    pub fn materialize_physical(&mut self, schema: &Schema) -> Result<(), ExecError> {
         for sk in schema.skeletons() {
             let name = sk.physical_name;
             match &sk.spec {
@@ -178,8 +178,9 @@ impl Database {
                     for row in rows {
                         let k = row
                             .field(*key)
-                            .ok_or_else(|| {
-                                EngineError::new(format!("{rel} row lacks key attribute {key}"))
+                            .ok_or(ExecError::MissingKeyAttribute {
+                                relation: *rel,
+                                attribute: *key,
                             })?
                             .clone();
                         self.set_entry(name, k, row);
@@ -190,8 +191,9 @@ impl Database {
                     for row in rows {
                         let mut fields = Vec::with_capacity(keys.len());
                         for k in keys {
-                            let v = row.field(*k).ok_or_else(|| {
-                                EngineError::new(format!("{rel} row lacks attribute {k}"))
+                            let v = row.field(*k).ok_or(ExecError::MissingAttribute {
+                                relation: *rel,
+                                attribute: *k,
                             })?;
                             fields.push((*k, v.clone()));
                         }
@@ -207,8 +209,9 @@ impl Database {
                     for row in rows {
                         let k = row
                             .field(*attr)
-                            .ok_or_else(|| {
-                                EngineError::new(format!("{rel} row lacks attribute {attr}"))
+                            .ok_or(ExecError::MissingAttribute {
+                                relation: *rel,
+                                attribute: *attr,
                             })?
                             .clone();
                         let bucket = buckets.entry(k.clone()).or_default();

@@ -34,7 +34,7 @@ use cnb_ir::prelude::*;
 
 use crate::batch::{eval_path_at, slot_map, Batch};
 use crate::database::Database;
-use crate::error::EngineError;
+use crate::error::ExecError;
 use crate::join::{apply_access, apply_filters, plan, Access, JoinIndexes};
 
 /// One operator's observed cardinalities — the raw material of the
@@ -152,21 +152,19 @@ pub struct ExecResult {
 /// template reaching the executor means the serving path's bind step was
 /// skipped (or the parameter vector was short), and treating `?k` as data
 /// would silently produce wrong — usually empty — results.
-fn reject_unbound_params(q: &Query) -> Result<(), EngineError> {
+fn reject_unbound_params(q: &Query) -> Result<(), ExecError> {
     match cnb_core::serving::unbound_param(q) {
-        Some(k) => Err(EngineError::new(format!(
-            "query contains unbound parameter ?{k}; bind parameters before executing"
-        ))),
+        Some(k) => Err(ExecError::UnboundParam(k)),
         None => Ok(()),
     }
 }
 
 /// Executes `q` against `db` with the batched engine.
-pub fn execute(db: &Database, q: &Query) -> Result<ExecResult, EngineError> {
+pub fn execute(db: &Database, q: &Query) -> Result<ExecResult, ExecError> {
     // Stats-only timing; evaluation order is fixed by the plan.
     #[allow(clippy::disallowed_methods)]
     let start = Instant::now(); // cnb-lint: allow(wall-clock)
-    q.validate().map_err(EngineError::new)?;
+    q.validate().map_err(ExecError::InvalidQuery)?;
     reject_unbound_params(q)?;
     let steps = plan(db, q)?;
     let indexes = JoinIndexes::build(db, &steps);
@@ -203,11 +201,11 @@ pub fn execute(db: &Database, q: &Query) -> Result<ExecResult, EngineError> {
 /// differential oracle (same planning, same semantics, same row order —
 /// `tests` and `benches/execution.rs` compare it against [`execute`]).
 /// It records no per-operator stats.
-pub fn execute_legacy(db: &Database, q: &Query) -> Result<ExecResult, EngineError> {
+pub fn execute_legacy(db: &Database, q: &Query) -> Result<ExecResult, ExecError> {
     // Stats-only timing; evaluation order is fixed by the plan.
     #[allow(clippy::disallowed_methods)]
     let start = Instant::now(); // cnb-lint: allow(wall-clock)
-    q.validate().map_err(EngineError::new)?;
+    q.validate().map_err(ExecError::InvalidQuery)?;
     reject_unbound_params(q)?;
     let steps = plan(db, q)?;
     let indexes = JoinIndexes::build(db, &steps);
@@ -233,7 +231,7 @@ fn legacy_steps(
     env: &mut FxHashMap<Var, Value>,
     out: &mut Vec<Value>,
     stats: &mut ExecStats,
-) -> Result<(), EngineError> {
+) -> Result<(), ExecError> {
     if depth == steps.len() {
         let mut fields = Vec::with_capacity(q.select.len());
         for (label, p) in &q.select {

@@ -24,7 +24,7 @@ use cnb_ir::prelude::*;
 
 use crate::batch::{eval_path_at, Batch};
 use crate::database::Database;
-use crate::error::EngineError;
+use crate::error::ExecError;
 use crate::eval::{ExecStats, OpStats};
 
 /// How a binding will be accessed, decided during planning.
@@ -59,7 +59,7 @@ pub(crate) struct Step {
 }
 
 /// Greedy ordering + access-path selection.
-pub(crate) fn plan(db: &Database, q: &Query) -> Result<Vec<Step>, EngineError> {
+pub(crate) fn plan(db: &Database, q: &Query) -> Result<Vec<Step>, ExecError> {
     // Binding-order soundness only: disconnected (cross-product) queries
     // are legal here — the engine evaluates them — and are rejected
     // earlier, by `cnb-analyze` over optimizer-emitted plans.
@@ -132,8 +132,7 @@ pub(crate) fn plan(db: &Database, q: &Query) -> Result<Vec<Step>, EngineError> {
                 best = Some((tier, card, i, access, consumed));
             }
         }
-        let (_, _, idx, access, consumed) = best
-            .ok_or_else(|| EngineError::new("no evaluable binding (cyclic range dependencies?)"))?;
+        let (_, _, idx, access, consumed) = best.ok_or(ExecError::NoEvaluableBinding)?;
         // The condition consumed by a probe access is not re-checked.
         if let Some(ci) = consumed {
             used_conds[ci] = true;

@@ -16,15 +16,19 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod clock;
 pub mod database;
 pub mod datagen;
 pub mod error;
 pub mod eval;
 mod join;
+pub mod pressure;
 pub mod prng;
 pub mod serving;
 
+pub use clock::{Clock, VirtualClock, WallClock};
 pub use database::{Database, OrderedDict};
-pub use error::EngineError;
+pub use error::{ExecError, ServeError};
 pub use eval::{execute, execute_legacy, feed_cost_model, ExecResult, ExecStats, OpStats};
-pub use serving::{PlanServer, ServedPlan, ServedResult};
+pub use pressure::{Fault, FaultPlan, ServeConfig};
+pub use serving::{PlanServer, PressureTally, ServeOutcome, ServedPlan, ServedResult};

@@ -1,4 +1,5 @@
-//! The serving executor: plan-cache frontend plus a concurrent request pool.
+//! The serving executor: plan-cache frontend plus a concurrent request pool
+//! with a robustness layer between them.
 //!
 //! [`PlanServer`] is the "answer many" half of the serving discipline: it
 //! owns a C&B [`Optimizer`] and a [`PlanCache`], and turns an incoming
@@ -8,24 +9,44 @@
 //! the cached template plan ([`bind_params`]) and go straight to
 //! execution.
 //!
-//! [`PlanServer::serve_batch`] executes a whole batch of requests on the
-//! scoped worker pool of [`cnb_core::parallel`] over one shared read-only
-//! [`Database`]: planning stays on the caller's thread (it mutates the
-//! cache), execution fans out morsel-style via the atomic work queue, and
-//! results come back **in request order** — so a served batch is
-//! byte-identical at any thread count, same contract as the parallel
-//! backchase.
+//! [`PlanServer::serve_batch_under`] is the pressure-aware batch path.
+//! Between "a batch of requests" and the worker pool sit three typed,
+//! deterministic gates:
+//!
+//! 1. **Admission** — each request's plan is priced with the server's
+//!    [`CostModel`]; over-budget requests are shed as
+//!    [`ServeError::Rejected`] before touching the pool.
+//! 2. **Deadlines** — judged against an injectable [`Clock`]
+//!    (deterministic virtual time in tests, wall time in the bench).
+//!    A request whose deadline passes before dispatch, or whose executor
+//!    slot is never evaluated after a cooperative pool stop, comes back as
+//!    [`ServeError::DeadlineExpired`] — never partial rows, never a panic.
+//! 3. **Faults + retry** — a seeded [`FaultPlan`] injects failures and
+//!    delays per (request index, attempt); transient faults are retried up
+//!    to [`ServeConfig::max_retries`], exhaustion surfaces as
+//!    [`ServeError::RetriesExhausted`].
+//!
+//! Planning and all gate decisions run on the caller's thread in request
+//! order (they mutate the cache and must be reproducible); execution fans
+//! out morsel-style over [`cnb_core::parallel`]'s atomic work queue and
+//! results come back **in request order** — so with a deterministic clock
+//! the entire outcome vector, rows included, is byte-identical at any
+//! executor thread count. Scheduling may reorder *execution*, never
+//! *results*.
 
 use cnb_ir::prelude::Query;
 
+use cnb_core::cost::CostModel;
 use cnb_core::prelude::{
     bind_params, parameterize, CachedPlans, Fingerprint, Optimizer, OptimizerConfig, PlanCache,
 };
 use cnb_core::{parallel, serving::unbound_param};
 
+use crate::clock::{Clock, VirtualClock};
 use crate::database::Database;
-use crate::error::EngineError;
+use crate::error::ServeError;
 use crate::eval::{execute, ExecResult};
+use crate::pressure::{Fault, FaultPlan, ServeConfig};
 
 /// A plan produced by the serving frontend.
 #[derive(Clone, Debug)]
@@ -37,24 +58,99 @@ pub struct ServedPlan {
 }
 
 /// One request's outcome in a [`PlanServer::serve_batch`] run.
-pub type ServedResult = Result<(ServedPlan, ExecResult), EngineError>;
+pub type ServedResult = Result<(ServedPlan, ExecResult), ServeError>;
+
+/// One request's outcome under pressure: the typed result plus how many
+/// fault retries it absorbed on the way (0 when the first attempt ran).
+#[derive(Clone, Debug)]
+pub struct ServeOutcome {
+    /// Rows + plan on success; the typed shed/expiry/fault verdict otherwise.
+    pub result: ServedResult,
+    /// Fault retries consumed before the final attempt.
+    pub retries: usize,
+}
+
+/// Aggregate counters over one batch's outcomes — what the load harness
+/// records and the pressure tests reconcile (`served + rejected + expired +
+/// faulted + failed == requests`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PressureTally {
+    /// Requests that returned rows.
+    pub served: usize,
+    /// Admission-control sheds ([`ServeError::Rejected`]).
+    pub rejected: usize,
+    /// Deadline expiries ([`ServeError::DeadlineExpired`]).
+    pub expired: usize,
+    /// Fault casualties ([`ServeError::FaultInjected`] +
+    /// [`ServeError::RetriesExhausted`]).
+    pub faulted: usize,
+    /// Execution errors ([`ServeError::Exec`]).
+    pub failed: usize,
+    /// Total fault retries absorbed across the batch (successful requests
+    /// included).
+    pub retries: usize,
+}
+
+impl PressureTally {
+    /// Tallies a batch of outcomes.
+    pub fn of(outcomes: &[ServeOutcome]) -> PressureTally {
+        let mut t = PressureTally::default();
+        for o in outcomes {
+            t.retries += o.retries;
+            match &o.result {
+                Ok(_) => t.served += 1,
+                Err(ServeError::Rejected { .. }) => t.rejected += 1,
+                Err(ServeError::DeadlineExpired) => t.expired += 1,
+                Err(ServeError::FaultInjected { .. })
+                | Err(ServeError::RetriesExhausted { .. }) => t.faulted += 1,
+                Err(ServeError::Exec(_)) => t.failed += 1,
+            }
+        }
+        t
+    }
+
+    /// Sum of all outcome classes — must equal the batch size.
+    pub fn total(&self) -> usize {
+        self.served + self.rejected + self.expired + self.faulted + self.failed
+    }
+}
 
 /// Plan-cache frontend over a fixed schema + constraint set.
 pub struct PlanServer {
     optimizer: Optimizer,
     config: OptimizerConfig,
     cache: PlanCache,
+    cost_model: CostModel,
 }
 
 impl PlanServer {
     /// A server for `optimizer`'s schema and constraints, optimizing cache
-    /// misses under `config`.
+    /// misses under `config`, with an unbounded cache and a default cost
+    /// model (admission prices everything with static estimates until a
+    /// measured model is installed).
     pub fn new(optimizer: Optimizer, config: OptimizerConfig) -> PlanServer {
         PlanServer {
             optimizer,
             config,
             cache: PlanCache::new(),
+            cost_model: CostModel::default(),
         }
+    }
+
+    /// Bounds the plan cache at `capacity` shapes with the segmented
+    /// observed-frequency eviction policy (builder style; replaces the
+    /// cache, so call at construction time).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> PlanServer {
+        self.cache = PlanCache::bounded(capacity);
+        self
+    }
+
+    /// Installs the cost model admission control prices plans with
+    /// (builder style) — typically seeded from the database's measured
+    /// cardinalities, or fed back from [`crate::feed_cost_model`].
+    pub fn with_cost_model(mut self, model: CostModel) -> PlanServer {
+        self.cost_model = model;
+        self
     }
 
     /// The underlying optimizer (schema + constraints).
@@ -62,9 +158,20 @@ impl PlanServer {
         &self.optimizer
     }
 
-    /// The plan cache (hit/miss accounting lives here).
+    /// The plan cache (hit/miss/eviction accounting lives here).
     pub fn cache(&self) -> &PlanCache {
         &self.cache
+    }
+
+    /// The admission cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// Mutable access to the admission cost model (to fold measured
+    /// execution stats back in between batches).
+    pub fn cost_model_mut(&mut self) -> &mut CostModel {
+        &mut self.cost_model
     }
 
     /// Plans one request: parameterize, fingerprint, look up — optimizing
@@ -114,39 +221,166 @@ impl PlanServer {
             unbound_param(&served.plan).is_none(),
             "served plan still contains a parameter placeholder"
         );
-        let exec = execute(db, &served.plan)?;
+        let exec = execute(db, &served.plan).map_err(ServeError::Exec)?;
         Ok((served, exec))
     }
 
-    /// Plans all requests (sequentially — planning mutates the cache),
-    /// then executes the bound plans on up to `threads` scoped workers
-    /// sharing `db` read-only, morsel-style over the atomic work queue.
-    /// Results come back in request order regardless of scheduling, so the
-    /// served row sets are identical at any thread count.
+    /// The polite-world batch path: no budget, no deadline, no faults —
+    /// exactly [`PlanServer::serve_batch_under`] with
+    /// [`ServeConfig::unbounded`] and a frozen virtual clock. Kept as the
+    /// convenience entry point for callers that only want the pool.
     pub fn serve_batch(
         &mut self,
         db: &Database,
         requests: &[Query],
         threads: usize,
     ) -> Vec<ServedResult> {
-        let served: Vec<ServedPlan> = requests.iter().map(|q| self.plan(q)).collect();
-        let threads = parallel::resolve_threads(threads);
-        let chunk = parallel::WorkQueue::balanced_chunk(served.len(), threads);
-        let mut results = parallel::map_chunked(
+        self.serve_batch_under(
+            db,
+            requests,
             threads,
-            served.len(),
+            &ServeConfig::unbounded(),
+            &VirtualClock::frozen(),
+            None,
+        )
+        .into_iter()
+        .map(|o| o.result)
+        .collect()
+    }
+
+    /// Serves a batch under pressure: admission control, per-request
+    /// deadlines on `clock`, and seeded fault injection with bounded retry.
+    ///
+    /// Phase 1 runs on the caller's thread in request order (planning
+    /// mutates the cache): plan each request, price it against
+    /// `config.cost_budget`, and check `config.deadline` against `clock` —
+    /// producing a typed verdict per request. Phase 2 executes the admitted
+    /// plans on up to `threads` scoped workers sharing `db` read-only;
+    /// each worker re-checks the deadline before evaluating an item and
+    /// requests a cooperative pool stop when it has passed, so unevaluated
+    /// slots come back as [`ServeError::DeadlineExpired`] instead of
+    /// panicking (and a started request always returns *all* its rows or
+    /// none). Fault verdicts come from `faults` as a pure function of
+    /// (request index, attempt); a `Fail` consumes a retry, a `Delay`
+    /// stalls the attempt without changing its rows.
+    ///
+    /// Outcomes come back in request order. With a deterministic clock the
+    /// whole outcome vector — admission decisions, fault casualties, and
+    /// every served row — is byte-identical at any `threads`.
+    pub fn serve_batch_under(
+        &mut self,
+        db: &Database,
+        requests: &[Query],
+        threads: usize,
+        config: &ServeConfig,
+        clock: &dyn Clock,
+        faults: Option<&FaultPlan>,
+    ) -> Vec<ServeOutcome> {
+        let started = clock.now();
+        let deadline = config.deadline.map(|d| started + d);
+
+        // Phase 1 — caller thread, request order: plan, admit, check the
+        // deadline. Every gate produces a typed verdict, never a panic.
+        let verdicts: Vec<Result<ServedPlan, ServeError>> = requests
+            .iter()
+            .map(|q| {
+                let served = self.plan(q);
+                if let Some(budget) = config.cost_budget {
+                    let cost = self.cost_model.cost(&served.plan);
+                    if cost > budget {
+                        return Err(ServeError::Rejected { cost, budget });
+                    }
+                }
+                if deadline.is_some_and(|dl| clock.now() > dl) {
+                    return Err(ServeError::DeadlineExpired);
+                }
+                Ok(served)
+            })
+            .collect();
+
+        // Phase 2 — the pool, over admitted requests only.
+        let runnable: Vec<(usize, &Query)> = verdicts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_ref().ok().map(|p| (i, &p.plan)))
+            .collect();
+        let threads = parallel::resolve_threads(threads);
+        let chunk = parallel::WorkQueue::balanced_chunk(runnable.len(), threads);
+        let executed = parallel::map_chunked(
+            threads,
+            runnable.len(),
             chunk,
             || (),
-            |_, i| Some(execute(db, &served[i].plan)),
+            |_, j| {
+                let (request, plan) = runnable[j];
+                if deadline.is_some_and(|dl| clock.now() > dl) {
+                    // Past deadline: stop the pool cooperatively. Every
+                    // unevaluated slot becomes a typed expiry below.
+                    return None;
+                }
+                let mut attempt = 0usize;
+                loop {
+                    match faults.and_then(|f| f.fault_for(request, attempt)) {
+                        Some(Fault::Fail) => {
+                            if attempt >= config.max_retries {
+                                let err = if config.max_retries == 0 {
+                                    ServeError::FaultInjected { request, attempt }
+                                } else {
+                                    ServeError::RetriesExhausted {
+                                        request,
+                                        attempts: attempt + 1,
+                                    }
+                                };
+                                return Some((attempt, Err(err)));
+                            }
+                            attempt += 1;
+                        }
+                        Some(Fault::Delay(d)) => {
+                            // An injected stall: latency changes, rows don't.
+                            std::thread::sleep(d);
+                            break;
+                        }
+                        None => break,
+                    }
+                }
+                Some((attempt, execute(db, plan).map_err(ServeError::Exec)))
+            },
         );
-        results
-            .iter_mut()
-            .zip(served)
-            .map(|(slot, plan)| {
-                let exec = slot
-                    .take()
-                    .expect("no deadline: every request is evaluated");
-                exec.map(|e| (plan, e))
+
+        // Merge back to request order. `None` slots were never evaluated
+        // (cooperative deadline stop): typed expiry, not a panic — this is
+        // the real handling the old `.expect("no deadline: ...")` lacked.
+        let mut by_request: Vec<Option<(usize, Result<ExecResult, ServeError>)>> =
+            Vec::with_capacity(requests.len());
+        by_request.resize_with(requests.len(), || None);
+        for (j, slot) in executed.into_iter().enumerate() {
+            if let Some(payload) = slot {
+                by_request[runnable[j].0] = Some(payload);
+            }
+        }
+        drop(runnable);
+        verdicts
+            .into_iter()
+            .enumerate()
+            .map(|(i, verdict)| match verdict {
+                Err(e) => ServeOutcome {
+                    result: Err(e),
+                    retries: 0,
+                },
+                Ok(plan) => match by_request[i].take() {
+                    None => ServeOutcome {
+                        result: Err(ServeError::DeadlineExpired),
+                        retries: 0,
+                    },
+                    Some((retries, Ok(exec))) => ServeOutcome {
+                        result: Ok((plan, exec)),
+                        retries,
+                    },
+                    Some((retries, Err(e))) => ServeOutcome {
+                        result: Err(e),
+                        retries,
+                    },
+                },
             })
             .collect()
     }
@@ -155,6 +389,7 @@ impl PlanServer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::ExecError;
     use cnb_core::prelude::{chase_and_backchase_runs, Strategy};
     use cnb_ir::prelude::*;
 
@@ -263,11 +498,42 @@ mod tests {
     }
 
     #[test]
-    fn executor_rejects_unbound_templates() {
+    fn executor_rejects_unbound_templates_typed() {
         let schema = schema();
         let db = db(&schema);
         let template = cnb_core::prelude::parameterize(&point(3)).template;
         let err = execute(&db, &template).unwrap_err();
-        assert!(err.to_string().contains("unbound parameter"), "got: {err}");
+        assert_eq!(err, ExecError::UnboundParam(0), "got: {err}");
+    }
+
+    #[test]
+    fn tally_reconciles_every_outcome_class() {
+        let outcomes = vec![
+            ServeOutcome {
+                result: Err(ServeError::Rejected {
+                    cost: 9.0,
+                    budget: 1.0,
+                }),
+                retries: 0,
+            },
+            ServeOutcome {
+                result: Err(ServeError::DeadlineExpired),
+                retries: 0,
+            },
+            ServeOutcome {
+                result: Err(ServeError::RetriesExhausted {
+                    request: 2,
+                    attempts: 3,
+                }),
+                retries: 2,
+            },
+        ];
+        let t = PressureTally::of(&outcomes);
+        assert_eq!(
+            (t.served, t.rejected, t.expired, t.faulted, t.failed),
+            (0, 1, 1, 1, 0)
+        );
+        assert_eq!(t.retries, 2);
+        assert_eq!(t.total(), outcomes.len());
     }
 }

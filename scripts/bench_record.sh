@@ -8,7 +8,11 @@
 #   must not be slower).
 # * BENCH_serving.json — the serving path: closed-loop QPS and p50/p95/p99
 #   per-request latency for each EC1–EC5 parameterized serving mix plus the
-#   pooled mix, at 1/2/4 executor threads, with plan-cache hit rates.
+#   pooled mix, at 1/2/4 executor threads, with plan-cache hit rates; plus
+#   an open_loop section — scheduled arrivals at 0.5/0.9/1.2x measured
+#   capacity against a bounded backlog with deadlines and seeded fault
+#   injection, reporting served/shed/expired/faulted/retry counts and
+#   p50/p95/p99 sojourn per offered load.
 # Fully offline; ~a minute of measurement on a laptop-class core.
 set -euo pipefail
 cd "$(dirname "$0")/.."

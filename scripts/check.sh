@@ -57,6 +57,19 @@ done
 echo "==> serving QPS smoke (record_serving, tiny window)"
 CNB_SERVING_REQUESTS=8 CNB_ROWS=80 cargo run --release -q --bin record_serving >/dev/null
 
+# Pressure tier: the serving robustness layer. Admission control, deadlines
+# on the injectable clock (frozen = byte-identical at every thread count,
+# ticking = deterministic expiry + panic-free mid-batch cooperative stops),
+# seeded fault injection with bounded retry, and the bounded plan cache's
+# eviction/re-optimization audits — at both backchase thread tiers.
+for t in 1 4; do
+  echo "==> CNB_THREADS=$t pressure suite (admission/deadlines/faults/eviction)"
+  CNB_THREADS=$t cargo test -q -p cnb-engine --test pressure
+  CNB_THREADS=$t cargo test -q --test property_based -- \
+    fault_free_requests_are_byte_identical_at_every_thread_count \
+    admission_decisions_are_a_pure_function_of_inputs
+done
+
 echo "==> CNB_THREADS=1 cargo test -q   (sequential backchase)"
 CNB_THREADS=1 cargo test -q
 

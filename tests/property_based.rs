@@ -716,3 +716,227 @@ fn cache_hits_serve_byte_identical_plans() {
         }
     }
 }
+
+// --------------------------------------------------- Serving under pressure --
+
+/// Requests a seeded [`FaultPlan`] does not touch are *byte-identical* to a
+/// fault-free run — at 1, 2, 4 and 8 executor threads — and every faulted
+/// request surfaces as a typed error, never as wrong or partial rows.
+#[test]
+fn fault_free_requests_are_byte_identical_at_every_thread_count() {
+    use chase_too_far::engine::{FaultPlan, PlanServer, ServeConfig, ServeError, VirtualClock};
+
+    let mut schema = Schema::new();
+    schema.add_relation(
+        "R",
+        [
+            (sym("K"), Type::Int),
+            (sym("N"), Type::Int),
+            (sym("D"), Type::Int),
+        ],
+    );
+    add_primary_index(&mut schema, sym("R"), sym("K"), "PI");
+    let mut db = Database::new();
+    for i in 0..40i64 {
+        db.insert_row(
+            sym("R"),
+            Value::record([
+                (sym("K"), Value::Int(i)),
+                (sym("N"), Value::Int((i * 7) % 40)),
+                (sym("D"), Value::Int(i * 100)),
+            ]),
+        );
+    }
+    db.materialize_physical(&schema).unwrap();
+    let point = |k: i64| {
+        let mut q = Query::new();
+        let r = q.bind("r", Range::Name(sym("R")));
+        q.equate(PathExpr::from(r).dot("K"), PathExpr::from(k));
+        q.output("D", PathExpr::from(r).dot("D"));
+        q
+    };
+    let mk_server = || {
+        PlanServer::new(
+            Optimizer::new(schema.clone()),
+            OptimizerConfig::with_strategy(OptStrategy::Full),
+        )
+    };
+
+    cases(
+        "fault_free_requests_are_byte_identical_at_every_thread_count",
+        6,
+        |rng| {
+            let n = rng.gen_range(5usize..30);
+            let requests: Vec<Query> = (0..n).map(|_| point(rng.gen_range(0i64..40))).collect();
+            let plan = FaultPlan::failures(rng.next_u64(), 0.35);
+            let retries = rng.gen_range(0usize..3);
+            let cfg = ServeConfig::unbounded().with_max_retries(retries);
+
+            let fault_free: Vec<Vec<Value>> = mk_server()
+                .serve_batch(&db, &requests, 1)
+                .into_iter()
+                .map(|r| r.unwrap().1.rows)
+                .collect();
+            // Which requests survive is decided by the plan alone.
+            let survives: Vec<bool> = (0..n)
+                .map(|i| plan.leading_failures(i) <= retries)
+                .collect();
+
+            let mut baseline: Option<Vec<String>> = None;
+            for threads in [1usize, 2, 4, 8] {
+                let outcomes = mk_server().serve_batch_under(
+                    &db,
+                    &requests,
+                    threads,
+                    &cfg,
+                    &VirtualClock::frozen(),
+                    Some(&plan),
+                );
+                let rendered: Vec<String> = outcomes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, o)| match &o.result {
+                        Ok((_, exec)) => {
+                            assert!(survives[i], "request {i} should have been faulted");
+                            assert_eq!(
+                                exec.rows, fault_free[i],
+                                "threads={threads} request {i}: fault-free request diverged"
+                            );
+                            format!("ok:{:?}:{}", exec.rows, o.retries)
+                        }
+                        Err(e @ ServeError::FaultInjected { .. })
+                        | Err(e @ ServeError::RetriesExhausted { .. }) => {
+                            assert!(!survives[i], "request {i} faulted unexpectedly");
+                            format!("fault:{e:?}:{}", o.retries)
+                        }
+                        Err(e) => panic!("threads={threads} request {i}: unexpected {e:?}"),
+                    })
+                    .collect();
+                match &baseline {
+                    None => baseline = Some(rendered),
+                    Some(b) => assert_eq!(&rendered, b, "threads={threads}: outcomes drifted"),
+                }
+            }
+        },
+    );
+}
+
+/// Admission decisions are a pure function of (requests, config, cost
+/// model): reruns, thread counts, and interleavings never flip a verdict,
+/// and the shed set is exactly the over-budget set.
+#[test]
+fn admission_decisions_are_a_pure_function_of_inputs() {
+    use chase_too_far::core::cost::CostModel;
+    use chase_too_far::engine::{PlanServer, ServeConfig, ServeError, VirtualClock};
+
+    let mut schema = Schema::new();
+    schema.add_relation("R", [(sym("K"), Type::Int), (sym("D"), Type::Int)]);
+    add_primary_index(&mut schema, sym("R"), sym("K"), "PI");
+    schema.add_relation("F", [(sym("A"), Type::Int), (sym("B"), Type::Int)]);
+    let mut db = Database::new();
+    for i in 0..30i64 {
+        db.insert_row(
+            sym("R"),
+            Value::record([(sym("K"), Value::Int(i)), (sym("D"), Value::Int(i * 2))]),
+        );
+        db.insert_row(
+            sym("F"),
+            Value::record([
+                (sym("A"), Value::Int(i % 6)),
+                (sym("B"), Value::Int((i * 5) % 6)),
+            ]),
+        );
+    }
+    db.materialize_physical(&schema).unwrap();
+    let cheap = |k: i64| {
+        let mut q = Query::new();
+        let r = q.bind("r", Range::Name(sym("R")));
+        q.equate(PathExpr::from(r).dot("K"), PathExpr::from(k));
+        q.output("D", PathExpr::from(r).dot("D"));
+        q
+    };
+    let heavy = |b: i64| {
+        let mut q = Query::new();
+        let x = q.bind("x", Range::Name(sym("F")));
+        let y = q.bind("y", Range::Name(sym("F")));
+        q.equate(PathExpr::from(x).dot("B"), PathExpr::from(y).dot("A"));
+        q.equate(PathExpr::from(y).dot("B"), PathExpr::from(b));
+        q.output("A", PathExpr::from(x).dot("A"));
+        q
+    };
+    let model = CostModel::default().with_cardinalities(db.cardinalities());
+    let mk_server = || {
+        PlanServer::new(
+            Optimizer::new(schema.clone()),
+            OptimizerConfig::with_strategy(OptStrategy::Full),
+        )
+        .with_cost_model(model.clone())
+    };
+    let (cheap_cost, heavy_cost) = {
+        let mut s = mk_server();
+        let c = s.plan(&cheap(0)).plan;
+        let h = s.plan(&heavy(0)).plan;
+        (s.cost_model().cost(&c), s.cost_model().cost(&h))
+    };
+    assert!(heavy_cost > cheap_cost);
+
+    cases(
+        "admission_decisions_are_a_pure_function_of_inputs",
+        6,
+        |rng| {
+            let n = rng.gen_range(4usize..24);
+            let requests: Vec<Query> = (0..n)
+                .map(|_| {
+                    if rng.gen_bool(0.4) {
+                        heavy(rng.gen_range(0i64..6))
+                    } else {
+                        cheap(rng.gen_range(0i64..30))
+                    }
+                })
+                .collect();
+            // A budget drawn anywhere in (cheap, heavy) sheds exactly the
+            // heavy shapes; outside that band it sheds all or none.
+            let t = rng.gen_range(0u32..1000) as f64 / 999.0;
+            let budget = cheap_cost + t * (heavy_cost - cheap_cost);
+            let cfg = ServeConfig::unbounded().with_cost_budget(budget);
+            let mut baseline: Option<Vec<bool>> = None;
+            for threads in [1usize, 4] {
+                for _rerun in 0..2 {
+                    let outcomes = mk_server().serve_batch_under(
+                        &db,
+                        &requests,
+                        threads,
+                        &cfg,
+                        &VirtualClock::frozen(),
+                        None,
+                    );
+                    let shed: Vec<bool> = outcomes
+                        .iter()
+                        .map(|o| match &o.result {
+                            Ok(_) => false,
+                            Err(ServeError::Rejected { cost, budget: b }) => {
+                                assert!(cost > b, "rejection must be over budget");
+                                true
+                            }
+                            Err(e) => panic!("unexpected {e:?}"),
+                        })
+                        .collect();
+                    // The verdict is exactly the per-request cost test.
+                    for (i, q) in requests.iter().enumerate() {
+                        let mut probe = mk_server();
+                        let cost = model.cost(&probe.plan(q).plan);
+                        assert_eq!(
+                            shed[i],
+                            cost > budget,
+                            "request {i}: decision disagrees with its price"
+                        );
+                    }
+                    match &baseline {
+                        None => baseline = Some(shed),
+                        Some(b) => assert_eq!(&shed, b, "threads={threads}: decisions drifted"),
+                    }
+                }
+            }
+        },
+    );
+}
