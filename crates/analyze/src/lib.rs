@@ -17,22 +17,39 @@
 //!   nondeterminism hazards — `std::collections::{HashMap,HashSet}` (use
 //!   `cnb_core::fxhash` instead), wall-clock reads outside sanctioned
 //!   timing code, and thread-identity leaks — with a
-//!   `// cnb-lint: allow(<rule>)` escape hatch.
+//!   `// cnb-lint: allow(<rule>)` escape hatch. [`strip`] is its lexical
+//!   front end (comment/string stripping that survives block comments and
+//!   raw strings); [`callgraph`] scrapes a workspace call graph from the
+//!   stripped source, and [`taint`] propagates nondeterminism sources over
+//!   it interprocedurally, stopping at declared sanctioned sinks.
+//! - [`agm`]: the AGM-bound plan certifier — exact rational fractional
+//!   edge covers over [`cnb_ir::hypergraph`] exports, certifying each
+//!   backchase plan's worst binding-order prefix against its query's
+//!   bound and flagging shapes no binary-join order can meet
+//!   (`wcoj-needed`).
 //!
-//! Both prongs run as the `==> cnb-analyze` tier of `scripts/check.sh` via
-//! the `cnb-analyze` binary (`lint` and `validate-suite` modes).
+//! All prongs run as the `==> cnb-analyze` tier of `scripts/check.sh` via
+//! the `cnb-analyze` binary (`all . --json <path>` mode; `lint`, `taint`,
+//! `certify` and `validate-suite` run individually).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod agm;
+pub mod callgraph;
 pub mod lint;
+pub mod report;
+pub mod strip;
 pub mod suite;
+pub mod taint;
 pub mod validate;
 
 /// One-stop imports.
 pub mod prelude {
+    pub use crate::agm::{certify_suite, certify_workload, shape_report, Rat, Verdict};
     pub use crate::lint::{lint_source, lint_workspace, LintViolation, LINT_RULES};
     pub use crate::suite::validate_suite;
+    pub use crate::taint::{taint_files, taint_workspace, TaintFinding};
     pub use crate::validate::{
         join_components, validate_constraint, validate_constraint_set, validate_plan,
         validate_query, ValidateError,

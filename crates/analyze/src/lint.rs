@@ -12,60 +12,43 @@
 //! | `std-hash-map`  | `HashMap` / `HashSet`                  | `cnb_core::fxhash` maps             |
 //! | `wall-clock`    | `Instant::now` / `SystemTime::now`     | `cnb_bench` timing paths, annotated |
 //! | `thread-id`     | `thread::current`                      | nothing — logic must not know       |
-//! | `serving-clock` | wall-clock reads in the serving layer  | the injectable `cnb_engine::Clock`  |
+//! | `stale-allow`   | an allow annotation suppressing nothing| delete the annotation               |
 //!
 //! A line (or the standalone comment line directly above it) may carry
 //! `// cnb-lint: allow(<rule>)` to suppress a rule where the use is
 //! sanctioned — the `fxhash` definition site, deadline checks that never
-//! influence emitted plans, and the bench crate's own timing code.
-//! Comments are stripped before matching, so prose about `HashMap` in
-//! docs does not trip the scanner.
+//! influence emitted plans, and the bench crate's own timing code. An
+//! annotation that suppresses nothing on its target line is itself flagged
+//! (`stale-allow`), so sanctioned-site annotations cannot rot silently.
 //!
-//! `serving-clock` is the strict tier: in the serving layer
-//! ([`SERVING_CLOCK_FILES`]) every wall-clock needle is reported under this
-//! rule and **no allow-annotation suppresses it**. Deadline decisions there
-//! must flow through the injectable `cnb_engine::clock::Clock` trait — the
-//! single sanctioned time source for serving (its `WallClock` impl lives in
-//! `clock.rs`, outside the strict set, behind the ordinary annotated
-//! escape) — so tests can substitute virtual time and batch outcomes stay
-//! reproducible.
+//! Matching runs on lexed code (see [`crate::strip`]): comments, string
+//! and raw-string contents are removed first, so prose about `HashMap` in
+//! docs or a needle inside `r#"…"#` never false-positives, and code after
+//! a multi-line `/* */` close is still scanned.
 //!
-//! The scanner is line-based on purpose: no parser, no dependencies, and
-//! robust to the subset of Rust this workspace uses. It does not see
-//! through block comments or string literals; both are absent from the
-//! denied patterns' plausible uses here, and the self-test pins the
-//! behavior.
+//! The strict serving-layer clock rule (`serving-clock`) that used to live
+//! here as a filename-suffix match is now a call-graph reachability rule in
+//! [`crate::taint`], which also propagates these same hazards through
+//! helper calls interprocedurally.
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// The lint rules, in reporting order. `serving-clock` is strict: it
-/// re-tags wall-clock hits inside [`SERVING_CLOCK_FILES`] and cannot be
-/// suppressed by annotation.
-pub const LINT_RULES: [&str; 4] = ["std-hash-map", "wall-clock", "thread-id", "serving-clock"];
+use crate::strip::strip_source;
 
-/// Files where wall-clock reads are denied unconditionally — the serving
-/// layer, whose only sanctioned time source is the injectable
-/// `cnb_engine::clock::Clock`. Matched by suffix so both workspace-relative
-/// report names and bare basenames qualify.
-pub const SERVING_CLOCK_FILES: [&str; 2] = [
-    "crates/engine/src/serving.rs",
-    "crates/engine/src/pressure.rs",
-];
+/// The textual lint rules, in reporting order. `stale-allow` (annotation
+/// hygiene) reports under its own name; the interprocedural rules
+/// (`serving-clock`, `std-env`, `random-state`) live in [`crate::taint`].
+pub const LINT_RULES: [&str; 3] = ["std-hash-map", "wall-clock", "thread-id"];
 
-/// True when `file` falls under the strict serving-clock tier.
-fn serving_clock_scope(file: &str) -> bool {
-    let norm = file.replace('\\', "/");
-    SERVING_CLOCK_FILES
-        .iter()
-        .any(|f| norm == *f || norm.ends_with(&format!("/{f}")))
-}
+/// The rule name stale annotations are reported under.
+pub const STALE_ALLOW: &str = "stale-allow";
 
 /// The crates the determinism contract covers. `cnb-bench` is excluded:
 /// measuring wall time is its job. `cnb-analyze` itself never runs inside
 /// the optimizer and is likewise out of scope.
-const SCANNED_CRATES: [&str; 4] = [
+pub(crate) const SCANNED_CRATES: [&str; 4] = [
     "crates/core",
     "crates/engine",
     "crates/ir",
@@ -79,7 +62,7 @@ pub struct LintViolation {
     pub file: String,
     /// 1-based line number.
     pub line: usize,
-    /// Which of [`LINT_RULES`] fired.
+    /// Which rule fired (a [`LINT_RULES`] entry or [`STALE_ALLOW`]).
     pub rule: &'static str,
     /// The offending source line, trimmed.
     pub snippet: String,
@@ -95,26 +78,32 @@ impl std::fmt::Display for LintViolation {
     }
 }
 
-/// The needles per rule. Built by concatenation at runtime so this file
-/// never contains its own denied patterns as literals (the scanner must
-/// stay self-clean if it is ever pointed at itself).
-fn needles() -> Vec<(&'static str, Vec<String>)> {
+/// The needle set per needle-bearing rule — the three textual lint rules
+/// plus the taint-only source rules (`random-state`, `std-env`), which
+/// share this table for source detection and stale-allow validation.
+/// Built by concatenation at runtime so this file never contains its own
+/// denied patterns as literals (the scanner must stay self-clean if it is
+/// ever pointed at itself).
+pub(crate) fn rule_needles() -> Vec<(&'static str, Vec<String>)> {
     let h = "Hash";
     let now = "::now";
+    let sep = "::";
     vec![
         ("std-hash-map", vec![format!("{h}Map"), format!("{h}Set")]),
         (
             "wall-clock",
             vec![format!("Instant{now}"), format!("SystemTime{now}")],
         ),
-        ("thread-id", vec![format!("thread{}current", "::")]),
+        ("thread-id", vec![format!("thread{sep}current")]),
+        ("random-state", vec![format!("Random{}", "State")]),
+        ("std-env", vec![format!("std{sep}env{sep}")]),
     ]
 }
 
 /// True if `needle` occurs in `code` at an identifier boundary (the
 /// preceding character is not alphanumeric or `_`, so `FxHashMap` does
 /// not match the `HashMap` needle).
-fn contains_token(code: &str, needle: &str) -> bool {
+pub(crate) fn contains_token(code: &str, needle: &str) -> bool {
     let mut start = 0;
     while let Some(i) = code[start..].find(needle) {
         let at = start + i;
@@ -131,17 +120,16 @@ fn contains_token(code: &str, needle: &str) -> bool {
     false
 }
 
-/// The rules allowed by a `cnb-lint: allow(...)` annotation in `comment`.
-fn allows_in(comment: &str) -> Vec<&'static str> {
+/// The rule names inside `cnb-lint: allow(...)` annotations in `comment`,
+/// verbatim (validity is the caller's concern — stale-allow flags unknown
+/// names).
+pub(crate) fn allows_in(comment: &str) -> Vec<String> {
     let mut out = Vec::new();
     let mut rest = comment;
     while let Some(i) = rest.find("cnb-lint: allow(") {
         let after = &rest[i + "cnb-lint: allow(".len()..];
         if let Some(end) = after.find(')') {
-            let name = after[..end].trim();
-            if let Some(rule) = LINT_RULES.iter().find(|r| **r == name) {
-                out.push(*rule);
-            }
+            out.push(after[..end].trim().to_string());
             rest = &after[end..];
         } else {
             break;
@@ -150,36 +138,40 @@ fn allows_in(comment: &str) -> Vec<&'static str> {
     out
 }
 
-/// Scans one source text. `file` is used only for reporting.
-pub fn lint_source(file: &str, content: &str) -> Vec<LintViolation> {
-    let rules = needles();
-    let mut out = Vec::new();
-    // Allow-annotations on a standalone comment line apply to the next line.
-    let mut carried_allows: Vec<&'static str> = Vec::new();
-    for (idx, raw) in content.lines().enumerate() {
-        let (code, comment) = match raw.find("//") {
-            Some(i) => (&raw[..i], &raw[i..]),
-            None => (raw, ""),
-        };
-        let mut allowed = allows_in(comment);
-        allowed.extend(carried_allows.iter().copied());
-        carried_allows = if code.trim().is_empty() {
-            allows_in(comment)
+/// Per-line allow context for a stripped file: `allowed[i]` is the set of
+/// rule names suppressing findings on line `i+1` (same-line annotations
+/// plus ones carried from a standalone comment line directly above).
+pub(crate) fn allow_map(lines: &[crate::strip::StrippedLine]) -> Vec<Vec<String>> {
+    let mut out = Vec::with_capacity(lines.len());
+    let mut carried: Vec<String> = Vec::new();
+    for l in lines {
+        let mut here = allows_in(&l.comment);
+        here.extend(carried.iter().cloned());
+        out.push(here);
+        carried = if l.code.trim().is_empty() {
+            allows_in(&l.comment)
         } else {
             Vec::new()
         };
-        for (rule, ns) in &rules {
-            if !ns.iter().any(|n| contains_token(code, n)) {
+    }
+    out
+}
+
+/// Scans one source text. `file` is used only for reporting.
+pub fn lint_source(file: &str, content: &str) -> Vec<LintViolation> {
+    let rules = rule_needles();
+    let stripped = strip_source(content);
+    let raws: Vec<&str> = content.lines().collect();
+    let allowed = allow_map(&stripped);
+    let mut out = Vec::new();
+    for (idx, l) in stripped.iter().enumerate() {
+        let raw = raws.get(idx).copied().unwrap_or_default();
+        for rule in LINT_RULES {
+            let ns = &rules.iter().find(|(r, _)| *r == rule).expect("known").1;
+            if !ns.iter().any(|n| contains_token(&l.code, n)) {
                 continue;
             }
-            // In the serving layer, a wall-clock hit is the strict
-            // serving-clock rule: no annotation suppresses it there.
-            let (rule, suppressible) = if *rule == "wall-clock" && serving_clock_scope(file) {
-                ("serving-clock", false)
-            } else {
-                (*rule, true)
-            };
-            if suppressible && allowed.contains(&rule) {
+            if allowed[idx].iter().any(|a| a == rule) {
                 continue;
             }
             out.push(LintViolation {
@@ -188,6 +180,30 @@ pub fn lint_source(file: &str, content: &str) -> Vec<LintViolation> {
                 rule,
                 snippet: raw.trim().to_string(),
             });
+        }
+        // Stale-allow: every annotation on this line must have a needle of
+        // its rule on the line it targets (this one, or the next when this
+        // line is comment-only).
+        for name in allows_in(&l.comment) {
+            let target = if l.code.trim().is_empty() {
+                idx + 1
+            } else {
+                idx
+            };
+            let live = rules.iter().any(|(r, ns)| {
+                *r == name
+                    && stripped
+                        .get(target)
+                        .is_some_and(|t| ns.iter().any(|n| contains_token(&t.code, n)))
+            });
+            if !live {
+                out.push(LintViolation {
+                    file: file.to_string(),
+                    line: idx + 1,
+                    rule: STALE_ALLOW,
+                    snippet: raw.trim().to_string(),
+                });
+            }
         }
     }
     out
@@ -217,10 +233,11 @@ fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lints the determinism-covered crates under the workspace root `root`
-/// (the directory containing `crates/`). Missing crate directories are
-/// an error: a silently-skipped crate would read as clean.
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<LintViolation>> {
+/// Reads every determinism-covered source file under the workspace root
+/// (the directory containing `crates/`) as `(relative path, content)`
+/// pairs, sorted. Missing crate directories are an error: a silently
+/// skipped crate would read as clean.
+pub(crate) fn workspace_files(root: &Path) -> io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     for rel in SCANNED_CRATES {
         let dir = root.join(rel);
@@ -232,14 +249,24 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<LintViolation>> {
         }
         rust_files(&dir, &mut files)?;
     }
+    files
+        .into_iter()
+        .map(|f| {
+            let content = fs::read_to_string(&f)?;
+            let name = f
+                .strip_prefix(root)
+                .unwrap_or(&f)
+                .to_string_lossy()
+                .replace('\\', "/");
+            Ok((name, content))
+        })
+        .collect()
+}
+
+/// Lints the determinism-covered crates under the workspace root `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<LintViolation>> {
     let mut out = Vec::new();
-    for f in files {
-        let content = fs::read_to_string(&f)?;
-        let name = f
-            .strip_prefix(root)
-            .unwrap_or(&f)
-            .to_string_lossy()
-            .into_owned();
+    for (name, content) in workspace_files(root)? {
         out.extend(lint_source(&name, &content));
     }
     Ok(out)
@@ -254,20 +281,9 @@ mod tests {
     fn seeded(rule: &str) -> String {
         match rule {
             "std-hash-map" => format!("    let m: {}Map<u32, u32> = Default::default();", "Hash"),
-            // serving-clock is the wall-clock needle in a strict file.
-            "wall-clock" | "serving-clock" => format!("    let t0 = Instant{}now();", "::"),
+            "wall-clock" => format!("    let t0 = Instant{}now();", "::"),
             "thread-id" => format!("    let id = thread{}current().id();", "::"),
             _ => unreachable!(),
-        }
-    }
-
-    /// A file name that puts `rule` in scope: strict rules need a serving
-    /// file, everything else fires anywhere.
-    fn scoped_file(rule: &str) -> &'static str {
-        if rule == "serving-clock" {
-            "crates/engine/src/serving.rs"
-        } else {
-            "seed.rs"
         }
     }
 
@@ -275,41 +291,11 @@ mod tests {
     fn every_rule_fires_on_a_seeded_violation() {
         for rule in LINT_RULES {
             let src = format!("fn f() {{\n{}\n}}\n", seeded(rule));
-            let found = lint_source(scoped_file(rule), &src);
+            let found = lint_source("seed.rs", &src);
             assert_eq!(found.len(), 1, "{rule}: {found:?}");
             assert_eq!(found[0].rule, rule);
             assert_eq!(found[0].line, 2);
         }
-    }
-
-    #[test]
-    fn serving_clock_is_not_suppressible_by_any_annotation() {
-        for file in SERVING_CLOCK_FILES {
-            for allow in ["wall-clock", "serving-clock"] {
-                let src = format!(
-                    "// cnb-lint: allow({allow})\n{}\n{} // cnb-lint: allow({allow})\n",
-                    seeded("wall-clock"),
-                    seeded("wall-clock")
-                );
-                let found = lint_source(file, &src);
-                assert_eq!(found.len(), 2, "{file} allow({allow}): {found:?}");
-                assert!(found.iter().all(|v| v.rule == "serving-clock"));
-            }
-        }
-    }
-
-    #[test]
-    fn serving_clock_scope_matches_by_suffix_only() {
-        let needle = seeded("wall-clock");
-        // A path-qualified serving file is strict…
-        let strict = format!("/abs/root/{}", SERVING_CLOCK_FILES[1]);
-        let found = lint_source(&strict, &format!("{needle}\n"));
-        assert_eq!(found[0].rule, "serving-clock");
-        // …while an unrelated file with a similar name is not, and the
-        // ordinary annotated escape still works there.
-        let src = format!("{needle} // cnb-lint: allow(wall-clock)\n");
-        assert!(lint_source("crates/bench/src/serving.rs", &src).is_empty());
-        assert!(lint_source("crates/engine/src/clock.rs", &src).is_empty());
     }
 
     #[test]
@@ -333,6 +319,26 @@ mod tests {
     fn comments_are_stripped() {
         let src = format!("// std {}Map is denied in prose too? no.\n", "Hash");
         assert!(lint_source("ok.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn needles_inside_raw_strings_do_not_fire() {
+        let src = format!("let doc = r#\"call Instant{}now() here\"#;\n", "::");
+        assert!(lint_source("ok.rs", &src).is_empty(), "{src}");
+    }
+
+    #[test]
+    fn needles_inside_block_comments_do_not_fire_but_code_after_does() {
+        let n = seeded("wall-clock");
+        let src = format!(
+            "/* {} spans\nlines {} */ {}\n",
+            n.trim(),
+            n.trim(),
+            n.trim()
+        );
+        let found = lint_source("seed.rs", &src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].line, 2, "only the code after */ fires");
     }
 
     #[test]
@@ -363,12 +369,63 @@ mod tests {
     }
 
     #[test]
-    fn allow_of_wrong_rule_does_not_suppress() {
+    fn allow_of_wrong_rule_does_not_suppress_and_is_stale() {
         let src = format!(
             "{} // cnb-lint: allow(wall-clock)\n",
             seeded("std-hash-map")
         );
-        assert_eq!(lint_source("bad.rs", &src).len(), 1);
+        let found = lint_source("bad.rs", &src);
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(found.iter().any(|v| v.rule == "std-hash-map"));
+        assert!(found.iter().any(|v| v.rule == STALE_ALLOW));
+    }
+
+    #[test]
+    fn allow_suppressing_nothing_is_stale() {
+        let found = lint_source("x.rs", "let a = 1; // cnb-lint: allow(wall-clock)\n");
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, STALE_ALLOW);
+        assert_eq!(found[0].line, 1);
+    }
+
+    #[test]
+    fn standalone_allow_over_a_clean_line_is_stale() {
+        let src = "// cnb-lint: allow(std-hash-map)\nlet a = 1;\n";
+        let found = lint_source("x.rs", src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].rule, STALE_ALLOW);
+        assert_eq!(found[0].line, 1, "reported at the annotation");
+    }
+
+    #[test]
+    fn allow_of_unknown_rule_is_stale() {
+        let found = lint_source("x.rs", "let a = 1; // cnb-lint: allow(no-such-rule)\n");
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, STALE_ALLOW);
+    }
+
+    #[test]
+    fn live_allows_are_not_stale() {
+        // Same-line and carried forms, both with real needles.
+        let src = format!(
+            "{} // cnb-lint: allow(std-hash-map)\n// cnb-lint: allow(wall-clock)\n{}\n",
+            seeded("std-hash-map"),
+            seeded("wall-clock")
+        );
+        assert!(lint_source("ok.rs", &src).is_empty());
+    }
+
+    #[test]
+    fn taint_rule_allows_validate_against_their_needles() {
+        // `std-env` has no textual lint, but its allow is live when the
+        // needle is present — and stale when not.
+        let live = format!(
+            "let v = std{}env{}var(\"X\"); // cnb-lint: allow(std-env)\n",
+            "::", "::"
+        );
+        assert!(lint_source("ok.rs", &live).is_empty());
+        let stale = "let v = 1; // cnb-lint: allow(std-env)\n";
+        assert_eq!(lint_source("x.rs", stale).len(), 1);
     }
 
     #[test]

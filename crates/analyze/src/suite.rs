@@ -7,15 +7,21 @@
 //! backchase-emitted plan — binding order and join connectivity included.
 //! This is the static half of the plan/execution agreement suites: a plan
 //! that validates here may still be wrong, but a plan that fails here
-//! would have been wrong at runtime.
+//! would have been wrong at runtime. Each workload's plans are also run
+//! through the AGM certifier ([`crate::agm`]) and the computed verdict
+//! checked against the family's declared [`AgmExpectation`].
+//!
+//! [`AgmExpectation`]: cnb_workloads::workload::AgmExpectation
 
 use cnb_workloads::suite;
 
+use crate::agm::certify_workload;
 use crate::validate::{validate_plan, validate_query, validate_schema, ValidateError};
 
-/// Validates every suite workload and every plan its optimization emits.
-/// Returns one human-readable report line per workload, or the first
-/// failure (wrapped with the workload and plan it came from).
+/// Validates every suite workload and every plan its optimization emits,
+/// then certifies the plans against the workload's AGM bound. Returns one
+/// human-readable report line per workload, or the first failure (wrapped
+/// with the workload and plan it came from).
 pub fn validate_suite() -> Result<Vec<String>, String> {
     let mut report = Vec::new();
     for w in suite() {
@@ -33,9 +39,19 @@ pub fn validate_suite() -> Result<Vec<String>, String> {
                 format!("{name}: plan {i} invalid: {e}\n{}", p.query)
             })?;
         }
+        let cert = certify_workload(w.as_ref())?;
+        if !cert.verdict.matches(cert.expected) {
+            return Err(format!(
+                "{name}: AGM verdict {} contradicts the declared expectation {:?}",
+                cert.verdict.name(),
+                cert.expected
+            ));
+        }
         report.push(format!(
-            "{name}: schema + query + {} plans valid",
-            result.plans.len()
+            "{name}: schema + query + {} plans valid; agm {} (bound {})",
+            result.plans.len(),
+            cert.verdict.name(),
+            cert.bound
         ));
     }
     Ok(report)

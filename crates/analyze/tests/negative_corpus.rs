@@ -186,3 +186,185 @@ fn terminating_variants_of_the_corpus_pass() {
     validate_constraint(&s, &fk).expect("well-formed RIC");
     validate_constraint_set(&s, &[fk]).expect("a single FK terminates");
 }
+
+// ---------------------------------------------------------------------------
+// Interprocedural taint: one seeded violation per rule, with the needles
+// assembled by concatenation so this corpus never trips the lint itself.
+// ---------------------------------------------------------------------------
+
+fn taint_of(files: &[(&str, String)]) -> Vec<TaintFinding> {
+    let owned: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.to_string(), s.clone()))
+        .collect();
+    taint_files(&owned)
+}
+
+#[test]
+fn seeded_wall_clock_through_one_helper_is_flagged_at_the_call_site() {
+    // The acceptance case: the needle sits in a helper; both the helper
+    // and its caller must be flagged, the caller with the call path.
+    let src = format!(
+        "fn stamp() -> u64 {{\n    let t = Instant{}now();\n    0\n}}\n\nfn decide_plan() -> u64 {{\n    stamp() % 2\n}}\n",
+        "::"
+    );
+    let found = taint_of(&[("seed.rs", src)]);
+    assert_eq!(found.len(), 2, "{found:?}");
+    assert!(found
+        .iter()
+        .any(|f| f.rule == "wall-clock" && f.function == "stamp" && f.line == 2));
+    let caller = found
+        .iter()
+        .find(|f| f.function == "decide_plan")
+        .expect("caller flagged");
+    assert_eq!(caller.rule, "wall-clock");
+    assert_eq!(caller.path, vec!["decide_plan", "stamp"]);
+}
+
+#[test]
+fn seeded_thread_id_is_flagged_interprocedurally() {
+    let src = format!(
+        "fn who() -> String {{\n    format!(\"{{:?}}\", thread{}current().id())\n}}\nfn tag() -> String {{\n    who()\n}}\n",
+        "::"
+    );
+    let found = taint_of(&[("seed.rs", src)]);
+    assert!(found
+        .iter()
+        .any(|f| f.rule == "thread-id" && f.function == "who"));
+    assert!(found
+        .iter()
+        .any(|f| f.rule == "thread-id" && f.function == "tag"));
+}
+
+#[test]
+fn seeded_random_state_is_flagged() {
+    let src = format!("fn fresh() {{\n    let h = Random{}::new();\n}}\n", "State");
+    let found = taint_of(&[("seed.rs", src)]);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].rule, "random-state");
+}
+
+#[test]
+fn seeded_env_read_is_flagged_outside_declared_sinks() {
+    let env = format!("std{}env{}var(\"KNOB\")", "::", "::");
+    let src = format!("fn knob() -> bool {{\n    {env}.is_ok()\n}}\n");
+    let found = taint_of(&[("seed.rs", src)]);
+    assert_eq!(found.len(), 1, "{found:?}");
+    assert_eq!(found[0].rule, "std-env");
+    // The same read inside the declared sink stays sanctioned.
+    let sink =
+        format!("pub fn resolve_threads(n: usize) -> usize {{\n    let e = {env};\n    n\n}}\n");
+    assert!(taint_of(&[("crates/core/src/parallel.rs", sink)]).is_empty());
+}
+
+#[test]
+fn seeded_serving_clock_fires_by_reachability_not_filename() {
+    // The needle lives in a *non-serving* file; the serving-layer fn that
+    // reaches it through a helper chain is still flagged.
+    let helper = format!(
+        "pub fn elapsed_hint() -> u64 {{\n    let t = Instant{}now();\n    1\n}}\n",
+        "::"
+    );
+    let serving = "fn admit_request() -> bool {\n    elapsed_hint() < 10\n}\n".to_string();
+    let found = taint_of(&[
+        ("crates/core/src/hints.rs", helper),
+        ("crates/engine/src/serving.rs", serving),
+    ]);
+    let sc: Vec<_> = found.iter().filter(|f| f.rule == "serving-clock").collect();
+    assert_eq!(sc.len(), 1, "{found:?}");
+    assert_eq!(sc[0].function, "admit_request");
+    assert_eq!(sc[0].path, vec!["admit_request", "elapsed_hint"]);
+}
+
+// ---------------------------------------------------------------------------
+// Golden AGM certifier verdicts: the bounds and verdicts for EC1–EC5 are
+// part of the repo's contract — a certifier change that shifts any of them
+// must be a conscious decision.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn golden_agm_verdicts_for_the_whole_suite() {
+    let certs = certify_suite().unwrap_or_else(|e| panic!("{e}"));
+    let golden: Vec<(String, String, &str)> = certs
+        .iter()
+        .map(|c| (c.name.clone(), c.bound.to_string(), c.verdict.name()))
+        .collect();
+    let expect = [
+        ("EC1", "3", "certified"),
+        ("EC2", "6", "certified"),
+        ("EC3", "2", "certified"),
+        ("EC4", "4", "certified"),
+        ("EC5", "3/2", "wcoj-needed"),
+    ];
+    assert_eq!(golden.len(), expect.len());
+    for ((name, bound, verdict), (en, eb, ev)) in golden.iter().zip(expect) {
+        assert_eq!(name, en);
+        assert_eq!(bound, eb, "{name} bound");
+        assert_eq!(*verdict, ev, "{name} verdict");
+    }
+    // Every certificate re-verifies by plain arithmetic: the optimal
+    // cover of each plan's worst prefix is feasible and costs `worst`.
+    for c in &certs {
+        let w = cnb_workloads::suite()
+            .into_iter()
+            .find(|w| w.name() == c.name)
+            .expect("suite member");
+        let schema = w.schema();
+        let plans = w.optimize().plans;
+        for p in &c.plans {
+            let hg = cnb_ir::hypergraph::prefix_hypergraph(
+                &schema,
+                &plans[p.index].query,
+                p.worst_prefix,
+            )
+            .unwrap_or_else(|e| panic!("{}: plan {}: {e}", c.name, p.index));
+            let weights: Vec<cnb_analyze::agm::Rat> = p.cover.iter().map(|(_, r)| *r).collect();
+            let cost = cnb_analyze::agm::verify_cover(&hg, &weights)
+                .unwrap_or_else(|e| panic!("{}: plan {}: {e}", c.name, p.index));
+            assert_eq!(
+                cost, p.worst,
+                "{}: plan {} certificate cost",
+                c.name, p.index
+            );
+        }
+    }
+}
+
+#[test]
+fn golden_shape_report_flags_triangle_and_clique_but_not_even_cycle() {
+    let shapes = shape_report().unwrap_or_else(|e| panic!("{e}"));
+    let golden: Vec<(String, String, String, bool)> = shapes
+        .iter()
+        .map(|s| {
+            (
+                s.name.clone(),
+                s.bound.to_string(),
+                s.worst.to_string(),
+                s.wcoj_needed,
+            )
+        })
+        .collect();
+    assert_eq!(
+        golden,
+        vec![
+            (
+                "triangle".to_string(),
+                "3/2".to_string(),
+                "2".to_string(),
+                true
+            ),
+            (
+                "4-clique".to_string(),
+                "2".to_string(),
+                "4".to_string(),
+                true
+            ),
+            (
+                "4-cycle".to_string(),
+                "2".to_string(),
+                "2".to_string(),
+                false
+            ),
+        ]
+    );
+}

@@ -1,25 +1,47 @@
-//! Pins the repo's own cleanliness: the determinism lint, run over this
-//! workspace's real sources, finds nothing. If a `std::collections`
-//! HashMap or an unannotated wall-clock read ever lands in
+//! Pins the repo's own cleanliness: the determinism lint and the
+//! interprocedural taint analysis, run over this workspace's real sources,
+//! find nothing. If a `std::collections` HashMap, an unannotated
+//! wall-clock read, a stale allow-annotation, or a helper that launders
+//! nondeterminism into the serving layer ever lands in
 //! `crates/{core,engine,ir,workloads}`, this test is the tier that says so.
 
 use std::path::Path;
 
 use cnb_analyze::lint::lint_workspace;
+use cnb_analyze::taint::taint_workspace;
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+}
 
 #[test]
 fn determinism_lint_is_clean_on_this_workspace() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .parent()
-        .and_then(Path::parent)
-        .expect("workspace root");
-    let violations = lint_workspace(root).expect("scan the workspace");
+    let violations = lint_workspace(workspace_root()).expect("scan the workspace");
     assert!(
         violations.is_empty(),
         "determinism lint found violations:\n{}",
         violations
             .iter()
             .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn determinism_taint_is_clean_on_this_workspace() {
+    // Zero findings with zero allow-annotations beyond the declared
+    // sanctioned sinks — the acceptance bar for the taint tier.
+    let findings = taint_workspace(workspace_root()).expect("scan the workspace");
+    assert!(
+        findings.is_empty(),
+        "determinism taint found:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
             .collect::<Vec<_>>()
             .join("\n")
     );

@@ -1,0 +1,422 @@
+//! Query hypergraph export — the structural input to output-size bounds.
+//!
+//! The AGM/fractional-edge-cover bound (Atserias–Grohe–Marx; see the
+//! Abo Khamis–Ngo–Suciu survey in PAPERS.md) reads a conjunctive query as a
+//! hypergraph: vertices are join variables, hyperedges are the collections
+//! scanned, and any fractional edge cover exponentiates into a worst-case
+//! output-size bound. This module builds that hypergraph from a
+//! path-conjunctive [`Query`] so `cnb-analyze` can run the (tiny, exact,
+//! rational) cover LP over it. The translation:
+//!
+//! * **Vertices** are equivalence classes of path terms under the query's
+//!   equalities — `e1.T = e2.S` makes `{e1.T, e2.S}` one vertex. For a
+//!   binding over a named relation with known attributes, every attribute
+//!   term `v.a` is a vertex (relations are *sets*, so a row is exactly its
+//!   attribute tuple); for `dom`/path-expression bindings the bound
+//!   variable itself is the vertex.
+//! * **Edges** are the scanned collections. An edge *covers* a vertex when
+//!   enumerating the collection enumerates the vertex's terms: a binding
+//!   `R v` covers every class containing a term rooted at `v`, and a path
+//!   binding `M[k].N o` covers classes of terms over `{o, k}` (the
+//!   flattened pairs `(k, o)` are one scan).
+//! * **Materialized views are unfolded**: a binding over a view contributes
+//!   its *definition's* edges (recursively, with fresh variables), its
+//!   definition's equalities, and `v.label = select-path` bridges. The view
+//!   binding itself is no edge — its rows are determined by base scans, and
+//!   treating it as an opaque unit-size edge would be unsound in one
+//!   direction and wildly imprecise in the other.
+//! * **Only outer-visible vertices are required** to be covered. View- and
+//!   prefix-internal classes are projected away, which is sound by
+//!   Shearer's lemma: a feasible cover of any vertex subset bounds the
+//!   number of distinct projections onto that subset.
+//!
+//! [`prefix_hypergraph`] builds the hypergraph of a *binding-order prefix*
+//! (the first `k` loops plus the equalities they close), which is exactly
+//! the worst-case intermediate size of a left-deep binary-join execution —
+//! what the plan certifier compares against the full query's bound.
+
+use crate::constraint::PhysicalSpec;
+use crate::fxhash::FxHashMap;
+use crate::path::{PathExpr, Var};
+use crate::query::{Binding, Query, Range};
+use crate::schema::Schema;
+use crate::symbol::Symbol;
+
+/// One hyperedge: a scanned collection and the vertex classes it covers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HyperEdge {
+    /// Human-readable scan label, e.g. `E e1` or `E e1 (via W w)` for an
+    /// edge contributed by unfolding the view `W`.
+    pub label: String,
+    /// Covered vertex classes (sorted, deduplicated).
+    pub covers: Vec<usize>,
+}
+
+/// The hypergraph of a query (or of a binding-order prefix of one).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryHypergraph {
+    /// Number of vertex classes (dense ids `0..class_count`).
+    pub class_count: usize,
+    /// Classes a fractional edge cover must cover (sorted): the
+    /// outer-visible vertices. Internal (view-definition) classes are
+    /// projected away.
+    pub required: Vec<usize>,
+    /// The scanned collections.
+    pub edges: Vec<HyperEdge>,
+}
+
+/// Nested-view unfolding depth limit; exceeding it is a schema cycle.
+const MAX_VIEW_DEPTH: usize = 8;
+
+struct Builder<'a> {
+    schema: &'a Schema,
+    /// Term registry: path term → dense id.
+    terms: FxHashMap<PathExpr, usize>,
+    /// Variables of each registered term (sorted, deduplicated).
+    term_vars: Vec<Vec<Var>>,
+    /// Union-find parent per term id.
+    parent: Vec<usize>,
+    /// Term ids whose classes must be covered.
+    required_terms: Vec<usize>,
+    /// Per edge: (label, determines-set of variables).
+    edges: Vec<(String, Vec<Var>)>,
+    /// Next fresh variable id for unfolded view definitions.
+    next_var: u32,
+}
+
+impl Builder<'_> {
+    fn register(&mut self, term: &PathExpr) -> Option<usize> {
+        let mut vars = term.vars();
+        vars.sort_unstable();
+        vars.dedup();
+        if vars.is_empty() {
+            // Constant-valued terms carry no counting dimension.
+            return None;
+        }
+        if let Some(&id) = self.terms.get(term) {
+            return Some(id);
+        }
+        let id = self.parent.len();
+        self.terms.insert(term.clone(), id);
+        self.term_vars.push(vars);
+        self.parent.push(id);
+        Some(id)
+    }
+
+    fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]];
+            i = self.parent[i];
+        }
+        i
+    }
+
+    fn unite(&mut self, lhs: &PathExpr, rhs: &PathExpr) {
+        if let (Some(a), Some(b)) = (self.register(lhs), self.register(rhs)) {
+            let (ra, rb) = (self.find(a), self.find(b));
+            if ra != rb {
+                // Union toward the smaller root id keeps class
+                // representatives deterministic.
+                let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+                self.parent[hi] = lo;
+            }
+        }
+    }
+
+    /// The view definition behind `name`, if `name` is a materialized view
+    /// (or ASR) with a known defining query.
+    fn view_def(&self, name: Symbol) -> Option<&'_ Query> {
+        self.schema.skeletons().iter().find_map(|s| {
+            if s.physical_name == name {
+                match &s.spec {
+                    PhysicalSpec::View(def) => Some(def),
+                    _ => None,
+                }
+            } else {
+                None
+            }
+        })
+    }
+
+    fn add_binding(&mut self, b: &Binding, outer: bool, depth: usize) -> Result<(), String> {
+        if depth > MAX_VIEW_DEPTH {
+            return Err(format!(
+                "view unfolding exceeded depth {MAX_VIEW_DEPTH} at {} — cyclic view definitions?",
+                b.name
+            ));
+        }
+        match &b.range {
+            Range::Name(n) => {
+                if let Some(def) = self.view_def(*n) {
+                    // Unfold: the view's rows are determined by its
+                    // definition's scans, so the definition contributes the
+                    // edges and the view binding only its visible surface.
+                    let def = def.offset_vars(self.next_var);
+                    self.next_var = def.var_bound();
+                    if outer {
+                        if let Some(attrs) = self.schema.relation_attrs(*n) {
+                            for (a, _) in attrs {
+                                let t = PathExpr::from(b.var).dot(*a);
+                                if let Some(id) = self.register(&t) {
+                                    self.required_terms.push(id);
+                                }
+                            }
+                        } else if let Some(id) = self.register(&PathExpr::from(b.var)) {
+                            self.required_terms.push(id);
+                        }
+                    }
+                    let via = format!(" (via {} {})", n, b.name);
+                    let edge_start = self.edges.len();
+                    for db in def.from.clone() {
+                        self.add_binding(&db, false, depth + 1)?;
+                    }
+                    for e in self.edges[edge_start..].iter_mut() {
+                        if !e.0.ends_with(&via) {
+                            e.0.push_str(&via);
+                        }
+                    }
+                    for eq in &def.where_ {
+                        self.unite(&eq.lhs, &eq.rhs);
+                    }
+                    for (label, path) in &def.select {
+                        let visible = PathExpr::from(b.var).dot(*label);
+                        self.unite(&visible, path);
+                    }
+                } else {
+                    let mut covered = Vec::new();
+                    if let Some(attrs) = self.schema.relation_attrs(*n) {
+                        for (a, _) in attrs {
+                            let t = PathExpr::from(b.var).dot(*a);
+                            if let Some(id) = self.register(&t) {
+                                covered.push(id);
+                            }
+                        }
+                    } else if let Some(id) = self.register(&PathExpr::from(b.var)) {
+                        covered.push(id);
+                    }
+                    if outer {
+                        self.required_terms.extend(covered);
+                    }
+                    self.edges.push((format!("{b}"), vec![b.var]));
+                }
+            }
+            Range::Dom(_) | Range::Expr(_) => {
+                if let Some(id) = self.register(&PathExpr::from(b.var)) {
+                    if outer {
+                        self.required_terms.push(id);
+                    }
+                }
+                let mut determines = vec![b.var];
+                determines.extend(b.range.vars());
+                determines.sort_unstable();
+                determines.dedup();
+                self.edges.push((format!("{b}"), determines));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builds the hypergraph of the first `prefix` bindings of `query` plus
+/// every equality closed within them — the worst-case shape of the
+/// intermediate result after `prefix` joins of a left-deep execution in the
+/// query's binding order. `prefix == query.from.len()` is the whole query.
+///
+/// Errors on malformed input: a required vertex no edge covers (a binding
+/// whose value the scans cannot enumerate) or cyclic view definitions.
+pub fn prefix_hypergraph(
+    schema: &Schema,
+    query: &Query,
+    prefix: usize,
+) -> Result<QueryHypergraph, String> {
+    let prefix = prefix.min(query.from.len());
+    let mut b = Builder {
+        schema,
+        terms: FxHashMap::default(),
+        term_vars: Vec::new(),
+        parent: Vec::new(),
+        required_terms: Vec::new(),
+        edges: Vec::new(),
+        next_var: query.var_bound(),
+    };
+    let in_prefix: Vec<Var> = query.from[..prefix].iter().map(|x| x.var).collect();
+    for binding in &query.from[..prefix] {
+        b.add_binding(binding, true, 0)?;
+    }
+    for eq in &query.where_ {
+        if eq.vars().iter().all(|v| in_prefix.contains(v)) {
+            b.unite(&eq.lhs, &eq.rhs);
+        }
+    }
+
+    // Dense class ids in root-id order (registration order is
+    // deterministic, so class numbering is too).
+    let roots: Vec<usize> = (0..b.parent.len()).map(|i| b.find(i)).collect();
+    let mut class_of_root: FxHashMap<usize, usize> = FxHashMap::default();
+    let mut class_count = 0usize;
+    let mut class_of_term = vec![0usize; roots.len()];
+    for (term, &root) in roots.iter().enumerate() {
+        let id = *class_of_root.entry(root).or_insert_with(|| {
+            let id = class_count;
+            class_count += 1;
+            id
+        });
+        class_of_term[term] = id;
+    }
+
+    let mut required: Vec<usize> = b.required_terms.iter().map(|&t| class_of_term[t]).collect();
+    required.sort_unstable();
+    required.dedup();
+
+    let mut edges = Vec::with_capacity(b.edges.len());
+    for (label, determines) in &b.edges {
+        let mut covers = Vec::new();
+        for (term, vars) in b.term_vars.iter().enumerate() {
+            if vars.iter().all(|v| determines.contains(v)) {
+                covers.push(class_of_term[term]);
+            }
+        }
+        covers.sort_unstable();
+        covers.dedup();
+        edges.push(HyperEdge {
+            label: label.clone(),
+            covers,
+        });
+    }
+
+    for &r in &required {
+        if !edges.iter().any(|e| e.covers.contains(&r)) {
+            return Err(format!(
+                "vertex class {r} is required but no scan covers it (prefix {prefix})"
+            ));
+        }
+    }
+
+    Ok(QueryHypergraph {
+        class_count,
+        required,
+        edges,
+    })
+}
+
+/// The hypergraph of the whole query — [`prefix_hypergraph`] over every
+/// binding.
+pub fn query_hypergraph(schema: &Schema, query: &Query) -> Result<QueryHypergraph, String> {
+    prefix_hypergraph(schema, query, query.from.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::physical::add_materialized_view;
+    use crate::symbol::sym;
+    use crate::types::Type;
+
+    fn edge_schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_relation("E", [(sym("S"), Type::Int), (sym("T"), Type::Int)]);
+        s
+    }
+
+    fn triangle(schema_vars: &Schema) -> Query {
+        let _ = schema_vars;
+        let mut q = Query::new();
+        let e1 = q.bind("e1", Range::Name(sym("E")));
+        let e2 = q.bind("e2", Range::Name(sym("E")));
+        let e3 = q.bind("e3", Range::Name(sym("E")));
+        q.equate(PathExpr::from(e1).dot("T"), PathExpr::from(e2).dot("S"));
+        q.equate(PathExpr::from(e2).dot("T"), PathExpr::from(e3).dot("S"));
+        q.equate(PathExpr::from(e3).dot("T"), PathExpr::from(e1).dot("S"));
+        q.output("N1", PathExpr::from(e1).dot("S"));
+        q
+    }
+
+    #[test]
+    fn triangle_is_the_classic_three_vertex_hypergraph() {
+        let s = edge_schema();
+        let hg = query_hypergraph(&s, &triangle(&s)).unwrap();
+        // Six attribute terms collapse into three join vertices, each
+        // covered by exactly two of the three edges.
+        assert_eq!(hg.required.len(), 3, "{hg:?}");
+        assert_eq!(hg.edges.len(), 3);
+        for e in &hg.edges {
+            let req: Vec<_> = e
+                .covers
+                .iter()
+                .filter(|c| hg.required.contains(c))
+                .collect();
+            assert_eq!(req.len(), 2, "{e:?}");
+        }
+    }
+
+    #[test]
+    fn prefix_drops_unclosed_equalities() {
+        let s = edge_schema();
+        let hg = prefix_hypergraph(&s, &triangle(&s), 2).unwrap();
+        // e1, e2 with only e1.T = e2.S closed: S1, (T1=S2), T2.
+        assert_eq!(hg.required.len(), 3);
+        assert_eq!(hg.edges.len(), 2);
+    }
+
+    #[test]
+    fn view_bindings_unfold_into_definition_edges() {
+        let mut s = edge_schema();
+        let mut def = Query::new();
+        let e1 = def.bind("e1", Range::Name(sym("E")));
+        let e2 = def.bind("e2", Range::Name(sym("E")));
+        def.equate(PathExpr::from(e1).dot("T"), PathExpr::from(e2).dot("S"));
+        def.output("S", PathExpr::from(e1).dot("S"));
+        def.output("M", PathExpr::from(e1).dot("T"));
+        def.output("T", PathExpr::from(e2).dot("T"));
+        add_materialized_view(&mut s, "W", &def);
+
+        let mut q = Query::new();
+        let w = q.bind("w", Range::Name(sym("W")));
+        q.output("S", PathExpr::from(w).dot("S"));
+        let hg = query_hypergraph(&s, &q).unwrap();
+        // The view contributes its two E scans, not an opaque W edge.
+        assert_eq!(hg.edges.len(), 2, "{hg:?}");
+        assert!(hg.edges.iter().all(|e| e.label.contains("via W")));
+        // Visible vertices: w.S, w.M, w.T (merged with definition terms).
+        assert_eq!(hg.required.len(), 3);
+        // S is only enumerable from the first E scan, T only from the
+        // second, M from both.
+        let cover_counts: Vec<usize> = hg
+            .required
+            .iter()
+            .map(|r| hg.edges.iter().filter(|e| e.covers.contains(r)).count())
+            .collect();
+        let mut sorted = cover_counts.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 1, 2], "{hg:?}");
+    }
+
+    #[test]
+    fn dom_and_expr_ranges_cover_through_their_variables() {
+        let mut s = Schema::new();
+        s.add_physical_dict(
+            "M",
+            Type::Int,
+            Type::Struct(vec![(sym("N"), Type::Set(Box::new(Type::Int)))]),
+        );
+        let mut q = Query::new();
+        let k = q.bind("k", Range::Dom(sym("M")));
+        let o = q.bind("o", Range::Expr(PathExpr::from(k).lookup_in("M").dot("N")));
+        q.output("O", PathExpr::from(o));
+        let hg = query_hypergraph(&s, &q).unwrap();
+        assert_eq!(hg.edges.len(), 2);
+        assert_eq!(hg.required.len(), 2);
+        // The path edge enumerates (k, o) pairs: it covers both vertices.
+        assert_eq!(hg.edges[1].covers.len(), 2, "{hg:?}");
+    }
+
+    #[test]
+    fn constants_carry_no_vertex() {
+        let s = edge_schema();
+        let mut q = triangle(&s);
+        let e1 = q.from[0].var;
+        q.equate(PathExpr::from(e1).dot("S"), PathExpr::from(7i64));
+        let hg = query_hypergraph(&s, &q).unwrap();
+        assert_eq!(hg.required.len(), 3, "{hg:?}");
+    }
+}

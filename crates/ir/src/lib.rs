@@ -38,6 +38,7 @@
 
 pub mod constraint;
 pub mod fxhash;
+pub mod hypergraph;
 pub mod parser;
 pub mod path;
 pub mod physical;
@@ -52,6 +53,7 @@ pub mod value;
 pub mod prelude {
     pub use crate::constraint::{Constraint, ConstraintKind, PhysicalSpec, Skeleton};
     pub use crate::fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+    pub use crate::hypergraph::{prefix_hypergraph, query_hypergraph, HyperEdge, QueryHypergraph};
     pub use crate::parser::{parse_constraint, parse_query, ParseError};
     pub use crate::path::{Equality, PathExpr, Var};
     pub use crate::physical::{

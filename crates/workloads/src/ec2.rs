@@ -9,7 +9,7 @@
 //! hub key has a key constraint. Query size is `s(c+1)`; constraint count is
 //! `s(1 + 2v)`.
 
-use crate::workload::{DataScale, Expectations, Workload};
+use crate::workload::{AgmExpectation, DataScale, Expectations, Workload};
 use cnb_core::prelude::Strategy;
 use cnb_ir::prelude::*;
 
@@ -239,6 +239,8 @@ impl Workload for Ec2 {
             min_plans: 1 + self.stars * self.views,
             physical_plan: self.views > 0,
             nonempty_at_smoke: true,
+            // Chained stars are acyclic; view plans unfold within bound.
+            agm: AgmExpectation::Certified,
         }
     }
 }

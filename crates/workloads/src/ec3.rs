@@ -9,7 +9,7 @@
 //! so that plans using them are only reachable after the semantic
 //! (inverse-flipping) optimization phase.
 
-use crate::workload::{DataScale, Expectations, Workload};
+use crate::workload::{AgmExpectation, DataScale, Expectations, Workload};
 use cnb_core::prelude::Strategy;
 use cnb_ir::prelude::*;
 
@@ -237,6 +237,8 @@ impl Workload for Ec3 {
             min_plans: if self.asrs > 0 { 3 } else { 2 },
             physical_plan: self.asrs > 0,
             nonempty_at_smoke: true,
+            // Dictionary navigation chains are acyclic.
+            agm: AgmExpectation::Certified,
         }
     }
 }

@@ -14,7 +14,7 @@
 //! for: it stresses exactly the materialized-view/index rewrites the
 //! backchase was built around, at warehouse-shaped fan-outs.
 
-use crate::workload::{DataScale, Expectations, Workload};
+use crate::workload::{AgmExpectation, DataScale, Expectations, Workload};
 use cnb_core::prelude::Strategy;
 use cnb_ir::prelude::*;
 
@@ -243,6 +243,8 @@ impl Workload for Ec4 {
             min_plans: 1 << self.views,
             physical_plan: self.views + self.indexed > 0,
             nonempty_at_smoke: true,
+            // A star schema is acyclic: the fact scan covers the hub.
+            agm: AgmExpectation::Certified,
         }
     }
 }

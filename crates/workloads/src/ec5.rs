@@ -14,7 +14,7 @@
 //! Khamis–Ngo–Suciu, PAPERS.md) separate wedge-based plans from edge-only
 //! ones.
 
-use crate::workload::{DataScale, Expectations, Workload};
+use crate::workload::{AgmExpectation, DataScale, Expectations, Workload};
 use cnb_core::prelude::Strategy;
 use cnb_engine::datagen::EdgeDist;
 use cnb_ir::prelude::*;
@@ -261,6 +261,14 @@ impl Workload for Ec5 {
             min_plans: if self.wedge_view { 1 + self.cycle } else { 1 },
             physical_plan: self.wedge_view,
             nonempty_at_smoke: true,
+            // Odd cycles (AGM bound `cycle/2`) defeat every binary join
+            // order — any two adjacent edges (or one unfolded wedge view)
+            // already cost N²; even cycles meet their bound as chains.
+            agm: if self.cycle % 2 == 1 {
+                AgmExpectation::WcojNeeded
+            } else {
+                AgmExpectation::Certified
+            },
         }
     }
 }

@@ -48,6 +48,23 @@ impl DataScale {
     }
 }
 
+/// The AGM verdict a family declares for its backchase plans; the
+/// `cnb-analyze` certifier asserts the computed verdict matches.
+///
+/// `Certified` means every emitted plan's worst binding-order prefix stays
+/// within the central query's fractional-edge-cover bound (acyclic
+/// families: EC1–EC4). `WcojNeeded` means no plan over *base* scans meets
+/// the bound (cyclic EC5) — any within-bound plan leans on a
+/// pre-materialized superlinear structure, so meeting the bound on the
+/// data itself takes a worst-case-optimal multiway join.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AgmExpectation {
+    /// All plans within the query's AGM bound.
+    Certified,
+    /// No base-scan plan within the bound: the shape needs a WCOJ operator.
+    WcojNeeded,
+}
+
 /// Plan/row invariants a workload instance promises; the generic suites
 /// (golden + differential tests, bench smoke) assert them.
 #[derive(Clone, Copy, Debug)]
@@ -64,6 +81,8 @@ pub struct Expectations {
     /// Executing the query at [`DataScale::smoke`] must return rows (so
     /// exact-order golden tests pin a nonempty result).
     pub nonempty_at_smoke: bool,
+    /// The AGM certification verdict the family's plans must earn.
+    pub agm: AgmExpectation,
 }
 
 /// One experimental configuration, generically drivable end to end:

@@ -21,14 +21,18 @@ echo "==> cargo build --release -q --bin record_backchase --bin record_serving" 
 cargo build --release -q --bin record_backchase --bin record_serving
 
 # Never record numbers for a workspace the static-analysis gate rejects:
-# a lint or validation finding means the measured code is off-contract.
-echo "==> cnb-analyze gate (lint + validate-suite)" >&2
-if ! cargo run --release -q -p cnb-analyze -- lint . >&2; then
-  echo "error: cnb-analyze lint failed — refusing to record" >&2
-  exit 1
-fi
-if ! cargo run --release -q -p cnb-analyze -- validate-suite >&2; then
-  echo "error: cnb-analyze validate-suite failed — refusing to record" >&2
+# a lint, taint, validation, or AGM-certification finding means the
+# measured code is off-contract. The decision is read from the
+# machine-readable JSON report, not scraped from exit text — the same
+# artifact scripts/check.sh leaves behind.
+echo "==> cnb-analyze gate (all prongs, JSON report)" >&2
+analysis_json=target/cnb-analyze.json
+cargo run --release -q -p cnb-analyze -- all . --json "$analysis_json" >&2 || true
+# The top-level verdict is the report's last field, on its own 2-space
+# indented line — the nested validate/agm "ok" fields are inline in their
+# objects, so the anchored match below cannot confuse them.
+if ! grep -q '^  "ok": true$' "$analysis_json"; then
+  echo "error: $analysis_json does not say \"ok\": true — refusing to record" >&2
   exit 1
 fi
 

@@ -5,28 +5,52 @@
 # The tier-1 tests run twice: once with the backchase pinned sequential
 # (CNB_THREADS=1) and once with a 4-worker parallel frontier — the results
 # must be identical by construction, so both runs must be green.
+#
+# Each `==> tier` header is followed (when the next tier starts) by the
+# wall-clock seconds the tier took, so a slow regression shows up in the
+# transcript without any external timing harness.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
+_tier_name=""
+_tier_t0=0
+tier_done() {
+  if [[ -n "$_tier_name" ]]; then
+    echo "    ... ${_tier_name} done in $((SECONDS - _tier_t0))s"
+  fi
+  _tier_name=""
+}
+tier() {
+  tier_done
+  _tier_name="$1"
+  _tier_t0=$SECONDS
+  echo "==> $1"
+}
+
+tier "cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo clippy --all-targets -- -D warnings"
+tier "cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "==> cargo build --release"
+tier "cargo build --release"
 cargo build --release
 
-# Static-analysis tier: the determinism lint (denied std hash maps and
-# wall-clock reads in logic crates) and the semantic validator (every suite
-# workload's schema, constraints — including the weak-acyclicity chase
-# termination check — query, and every backchase-emitted plan). Offline and
-# fast, so it runs ahead of every test tier: a finding here makes the test
-# failures downstream redundant.
-echo "==> cnb-analyze lint"
-cargo run --release -q -p cnb-analyze -- lint .
-echo "==> cnb-analyze validate-suite"
-cargo run --release -q -p cnb-analyze -- validate-suite
+# Static-analysis tier: every prong of cnb-analyze in one pass — the
+# determinism lint (denied std hash maps, wall-clock reads, thread-identity
+# leaks, stale allow-annotations), the interprocedural determinism taint
+# analysis over the workspace call graph, the semantic validator (every
+# suite workload's schema, constraints — including the weak-acyclicity
+# chase termination check — query, and every backchase-emitted plan), and
+# the AGM-bound plan certifier. Offline and fast, so it runs ahead of every
+# test tier: a finding here makes the test failures downstream redundant.
+# The machine-readable report lands in target/cnb-analyze.json either way.
+tier "cnb-analyze all (lint + taint + validate-suite + AGM certify)"
+analysis_json=target/cnb-analyze.json
+if ! cargo run --release -q -p cnb-analyze -- all . --json "$analysis_json"; then
+  echo "error: cnb-analyze found problems — JSON findings at $analysis_json" >&2
+  exit 1
+fi
 
 # Fast-fail gate: the EC4/EC5 golden + differential suites (star-schema and
 # cyclic-join workloads, exact row order, batched-vs-legacy oracle, thread
@@ -34,7 +58,7 @@ cargo run --release -q -p cnb-analyze -- validate-suite
 # part of the full `cargo test -q` runs below, but failing them early makes
 # a workload regression obvious before the whole tier finishes.
 for t in 1 4; do
-  echo "==> CNB_THREADS=$t EC4/EC5 golden + differential suites"
+  tier "CNB_THREADS=$t EC4/EC5 golden + differential suites"
   CNB_THREADS=$t cargo test -q -p cnb-workloads --test ec4_star --test ec5_cyclic --test workload_suite
   CNB_THREADS=$t cargo test -q --test property_based -- \
     parallel_backchase_differential_ec4 parallel_backchase_differential_ec5 \
@@ -50,11 +74,11 @@ done
 # sequential and parallel backchase tiers; a tiny closed-loop QPS window
 # then exercises the recording binary end to end.
 for t in 1 4; do
-  echo "==> CNB_THREADS=$t serving smoke (plan cache + executor pool)"
+  tier "CNB_THREADS=$t serving smoke (plan cache + executor pool)"
   CNB_THREADS=$t cargo test -q -p cnb-bench --test serving_smoke
   CNB_THREADS=$t cargo test -q --test property_based -- cache_hits_serve_byte_identical_plans
 done
-echo "==> serving QPS smoke (record_serving, tiny window)"
+tier "serving QPS smoke (record_serving, tiny window)"
 CNB_SERVING_REQUESTS=8 CNB_ROWS=80 cargo run --release -q --bin record_serving >/dev/null
 
 # Pressure tier: the serving robustness layer. Admission control, deadlines
@@ -63,24 +87,24 @@ CNB_SERVING_REQUESTS=8 CNB_ROWS=80 cargo run --release -q --bin record_serving >
 # seeded fault injection with bounded retry, and the bounded plan cache's
 # eviction/re-optimization audits — at both backchase thread tiers.
 for t in 1 4; do
-  echo "==> CNB_THREADS=$t pressure suite (admission/deadlines/faults/eviction)"
+  tier "CNB_THREADS=$t pressure suite (admission/deadlines/faults/eviction)"
   CNB_THREADS=$t cargo test -q -p cnb-engine --test pressure
   CNB_THREADS=$t cargo test -q --test property_based -- \
     fault_free_requests_are_byte_identical_at_every_thread_count \
     admission_decisions_are_a_pure_function_of_inputs
 done
 
-echo "==> CNB_THREADS=1 cargo test -q   (sequential backchase)"
+tier "CNB_THREADS=1 cargo test -q   (sequential backchase)"
 CNB_THREADS=1 cargo test -q
 
-echo "==> CNB_THREADS=4 cargo test -q   (parallel backchase frontier)"
+tier "CNB_THREADS=4 cargo test -q   (parallel backchase frontier)"
 CNB_THREADS=4 cargo test -q
 
 # Debug-assert tier: the congruence undo trail re-audits its full invariants
 # (hash-consing bijective, member lists a partition, union-find agreement)
 # after every rollback when CNB_TRAIL_CHECK is set. Expensive, so it is its
 # own pass rather than the default.
-echo "==> CNB_TRAIL_CHECK=1 CNB_THREADS=2 cargo test -q   (trail-consistency audit)"
+tier "CNB_TRAIL_CHECK=1 CNB_THREADS=2 cargo test -q   (trail-consistency audit)"
 CNB_TRAIL_CHECK=1 CNB_THREADS=2 cargo test -q
 
 # Determinism gate: execution row order must be a pure function of
@@ -88,7 +112,7 @@ CNB_TRAIL_CHECK=1 CNB_THREADS=2 cargo test -q
 # asserts exact row order internally and prints rows to stdout); their
 # stdout must be byte-identical — this is what a randomly seeded hash-map
 # iteration anywhere in the scan/join path would break.
-echo "==> determinism gate: quickstart twice, stdout must be byte-identical"
+tier "determinism gate: quickstart twice, stdout must be byte-identical"
 cargo build --release -q --example quickstart
 qs=target/release/examples/quickstart
 run1=$("$qs" 2>/dev/null)
@@ -98,5 +122,6 @@ if [[ "$run1" != "$run2" ]]; then
   diff <(printf '%s\n' "$run1") <(printf '%s\n' "$run2") >&2 || true
   exit 1
 fi
+tier_done
 
 echo "All checks passed."
