@@ -20,8 +20,10 @@
 //!
 //! Over-approximation (e.g. `.len(` pointing at every `len` method) only
 //! makes taint *more* eager, never lets it escape — acceptable for a deny
-//! lint with sanctioned sinks. A known limitation: turbofish calls
-//! (`name::<T>(`) produce no edge.
+//! lint with sanctioned sinks. Turbofish call sites are edges too: a
+//! fn-side turbofish (`name::<T>(`) is skipped between the name and the
+//! argument list, and a type-side turbofish (`Type::<T>::method(`) is
+//! walked back over so the prefix resolves to `Type`.
 
 use cnb_ir::prelude::{FxHashMap, FxHashSet};
 
@@ -113,6 +115,40 @@ fn call_sites(code: &str) -> Vec<(String, String)> {
         while j < chars.len() && chars[j] == ' ' {
             j += 1;
         }
+        // A fn-side turbofish (`name::<T>(`) sits between the name and the
+        // argument list — skip the balanced `::<…>` so the `(` check below
+        // still sees the call. `->`/`=>` inside the generics (fn-pointer
+        // types, rare const closures) are arrows, not angle closes.
+        if chars.get(j) == Some(&':') && chars.get(j + 1) == Some(&':') {
+            let mut m = j + 2;
+            while m < chars.len() && chars[m] == ' ' {
+                m += 1;
+            }
+            if chars.get(m) == Some(&'<') {
+                let mut depth = 0i32;
+                while m < chars.len() {
+                    match chars[m] {
+                        '<' => depth += 1,
+                        '>' if m > 0 && (chars[m - 1] == '-' || chars[m - 1] == '=') => {}
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                m += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                if depth == 0 {
+                    while m < chars.len() && chars[m] == ' ' {
+                        m += 1;
+                    }
+                    j = m;
+                }
+            }
+        }
         if chars.get(j) != Some(&'(') || word.chars().next().is_none_or(|c| c.is_ascii_digit()) {
             continue;
         }
@@ -126,6 +162,30 @@ fn call_sites(code: &str) -> Vec<(String, String)> {
             ".".to_string()
         } else if k >= 2 && chars[k - 1] == ':' && chars[k - 2] == ':' {
             k -= 2;
+            // A type-side turbofish (`Type::<T>::method(`) puts `>` right
+            // before the `::` — walk back over the balanced angles and the
+            // second `::` to reach the type segment.
+            if k >= 1 && chars[k - 1] == '>' {
+                let mut depth = 0i32;
+                let mut m = k;
+                while m > 0 {
+                    m -= 1;
+                    match chars[m] {
+                        '>' if m > 0 && (chars[m - 1] == '-' || chars[m - 1] == '=') => m -= 1,
+                        '>' => depth += 1,
+                        '<' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                if depth == 0 && m >= 2 && chars[m - 1] == ':' && chars[m - 2] == ':' {
+                    k = m - 2;
+                }
+            }
             let seg_end = k;
             while k > 0 && is_ident_char(chars[k - 1]) {
                 k -= 1;
@@ -459,6 +519,34 @@ mod tests {
         assert_eq!(g.enclosing("lib.rs", 2), Some(idx(&g, "outer")));
         assert_eq!(g.enclosing("lib.rs", 5), Some(idx(&g, "later")));
         assert_eq!(g.enclosing("lib.rs", 99), None);
+    }
+
+    #[test]
+    fn fn_side_turbofish_calls_resolve() {
+        let src = "fn caller() {\n    helper::<Vec<u8>>(1);\n}\nfn helper<T>(x: u32) {}\n";
+        let g = graph_of(src);
+        assert_eq!(g.edges[idx(&g, "caller")], vec![idx(&g, "helper")]);
+    }
+
+    #[test]
+    fn type_side_turbofish_calls_resolve_to_the_owner() {
+        let src = "impl S {\n    fn make() -> u32 { 1 }\n}\nfn caller() {\n    S::<u8>::make();\n}\nfn make() {}\n";
+        let g = graph_of(src);
+        // The edge lands on `S::make`, not the free `make` the old scanner
+        // fell back to when the `>` before `::` defeated prefix detection.
+        assert_eq!(g.edges[idx(&g, "caller")], vec![idx(&g, "S::make")]);
+    }
+
+    #[test]
+    fn arrows_inside_turbofish_generics_do_not_unbalance_the_walk() {
+        let src = "impl S {\n    fn apply() -> u32 { 1 }\n}\nfn caller() {\n    S::<fn(u8) -> u8>::apply();\n    dispatch::<fn() -> u32>();\n}\nfn dispatch<T>() {}\n";
+        let g = graph_of(src);
+        let c = idx(&g, "caller");
+        assert_eq!(g.edges[c], {
+            let mut v = vec![idx(&g, "S::apply"), idx(&g, "dispatch")];
+            v.sort_unstable();
+            v
+        });
     }
 
     #[test]

@@ -23,10 +23,12 @@
 //!   stripped source, and [`taint`] propagates nondeterminism sources over
 //!   it interprocedurally, stopping at declared sanctioned sinks.
 //! - [`agm`]: the AGM-bound plan certifier — exact rational fractional
-//!   edge covers over [`cnb_ir::hypergraph`] exports, certifying each
-//!   backchase plan's worst binding-order prefix against its query's
-//!   bound and flagging shapes no binary-join order can meet
-//!   (`wcoj-needed`).
+//!   edge covers (the checked-arithmetic solver lives in
+//!   [`cnb_ir::cover`]) over [`cnb_ir::hypergraph`] exports, certifying
+//!   each left-deep plan's worst binding-order prefix — and each
+//!   generic-join twin's full-query exponent — against its query's bound;
+//!   cyclic shapes the WCOJ operator now covers report `wcoj-closed`,
+//!   shapes no emitted plan can meet report `wcoj-needed`.
 //!
 //! All prongs run as the `==> cnb-analyze` tier of `scripts/check.sh` via
 //! the `cnb-analyze` binary (`all . --json <path>` mode; `lint`, `taint`,
@@ -46,7 +48,10 @@ pub mod validate;
 
 /// One-stop imports.
 pub mod prelude {
-    pub use crate::agm::{certify_suite, certify_workload, shape_report, Rat, Verdict};
+    pub use crate::agm::{
+        certify_suite, certify_workload, plan_agm, plan_agm_wcoj, shape_report, CoverError, Rat,
+        Verdict,
+    };
     pub use crate::lint::{lint_source, lint_workspace, LintViolation, LINT_RULES};
     pub use crate::suite::validate_suite;
     pub use crate::taint::{taint_files, taint_workspace, TaintFinding};

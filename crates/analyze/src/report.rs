@@ -139,12 +139,13 @@ fn workload_json(w: &WorkloadAgm) -> String {
         .iter()
         .map(|p| {
             format!(
-                "{{\"index\": {}, \"worst\": {}, \"worst_prefix\": {}, \"within\": {}, \"uses_view\": {}, \"cover\": [{}]}}",
+                "{{\"index\": {}, \"worst\": {}, \"worst_prefix\": {}, \"within\": {}, \"uses_view\": {}, \"wcoj\": {}, \"cover\": [{}]}}",
                 p.index,
                 json_str(&p.worst.to_string()),
                 p.worst_prefix,
                 p.within,
                 p.uses_view,
+                p.wcoj,
                 cover_json(&p.cover)
             )
         })

@@ -222,6 +222,32 @@ fn seeded_wall_clock_through_one_helper_is_flagged_at_the_call_site() {
 }
 
 #[test]
+fn seeded_wall_clock_laundered_through_a_turbofish_call_is_flagged() {
+    // Regression: `Clock::<u64>::stamp()` used to produce no call edge
+    // (the `>` before `::` defeated prefix detection and the site fell
+    // back to free-fn resolution), so a wall-clock read laundered through
+    // a generic type's method never reached its caller. Both ends must be
+    // flagged now, the caller with the full path.
+    let src = format!(
+        "struct Clock;\nimpl Clock {{\n    fn stamp() -> u64 {{\n        let t = Instant{}now();\n        0\n    }}\n}}\n\nfn decide_order() -> u64 {{\n    Clock::<u64>::stamp() % 2\n}}\n",
+        "::"
+    );
+    let found = taint_of(&[("seed.rs", src)]);
+    assert!(
+        found
+            .iter()
+            .any(|f| f.rule == "wall-clock" && f.function == "Clock::stamp"),
+        "{found:?}"
+    );
+    let caller = found
+        .iter()
+        .find(|f| f.function == "decide_order")
+        .expect("turbofish caller flagged");
+    assert_eq!(caller.rule, "wall-clock");
+    assert_eq!(caller.path, vec!["decide_order", "Clock::stamp"]);
+}
+
+#[test]
 fn seeded_thread_id_is_flagged_interprocedurally() {
     let src = format!(
         "fn who() -> String {{\n    format!(\"{{:?}}\", thread{}current().id())\n}}\nfn tag() -> String {{\n    who()\n}}\n",
@@ -294,7 +320,10 @@ fn golden_agm_verdicts_for_the_whole_suite() {
         ("EC2", "6", "certified"),
         ("EC3", "2", "certified"),
         ("EC4", "4", "certified"),
-        ("EC5", "3/2", "wcoj-needed"),
+        // Flipped from "wcoj-needed" when the generic-join operator and
+        // its optimizer plan twins landed: the left-deep base plans still
+        // exceed 3/2, but the WCOJ twin meets the full-query bound.
+        ("EC5", "3/2", "wcoj-closed"),
     ];
     assert_eq!(golden.len(), expect.len());
     for ((name, bound, verdict), (en, eb, ev)) in golden.iter().zip(expect) {

@@ -6,7 +6,10 @@
 //! `micro` object with two sections: `micro.congruence` (savepoint churn:
 //! intern + merge + rollback, the backchase hot-loop shape) and
 //! `micro.execution` (batched vs. tuple-at-a-time join throughput on the
-//! EC1 chain workload — the batched path must not be slower).
+//! EC1 chain workload — the batched path must not be slower), plus a
+//! `wcoj` array: the generic-join operator vs the best wedge-view plan on
+//! the EC5 triangle, uniform and skewed — on the skewed point the wedge
+//! intermediate blows past the AGM bound and the WCOJ time must win.
 
 // Measuring wall time is this binary's job (see clippy.toml).
 #![allow(clippy::disallowed_methods)]
@@ -14,6 +17,8 @@
 use std::time::Instant;
 
 use cnb_core::prelude::*;
+use cnb_engine::datagen::EdgeDist;
+use cnb_workloads::ec5::Ec5DataSpec;
 use cnb_workloads::{Ec1, Ec2, Ec3, Ec4, Ec5, Workload};
 
 struct Point {
@@ -156,6 +161,62 @@ fn main() {
         println!(
             "    {{\"workload\": \"{}\", \"threads\": {}, \"median_secs\": {:.6}, \"plans\": {}, \"explored\": {}}}{comma}",
             p.workload, p.threads, p.median_secs, p.plans, p.explored
+        );
+    }
+    println!("  ],");
+
+    // WCOJ vs the best wedge plan: the EC5 triangle on uniform and skewed
+    // edge tables. Skew concentrates wedges on hub nodes, blowing the
+    // binary plan's intermediate past the N^(3/2) bound the generic join
+    // is certified by — the skewed point is where wcoj must win.
+    println!("  \"wcoj\": [");
+    let ec5 = Ec5::triangle();
+    let q = ec5.cycle_query();
+    let cfg = OptimizerConfig::with_strategy(Strategy::Full).timeout(cnb_bench::timeout());
+    let res = ec5.optimizer().optimize(&q, &cfg);
+    let wcoj_edges = 1200usize;
+    let dists = [
+        ("uniform", EdgeDist::Uniform),
+        ("skewed", EdgeDist::Skewed(2.0)),
+    ];
+    for (i, (label, dist)) in dists.iter().enumerate() {
+        let db = ec5.generate(Ec5DataSpec {
+            nodes: (wcoj_edges / 5).max(2),
+            edges: wcoj_edges,
+            dist: *dist,
+            ..Ec5DataSpec::default()
+        });
+        let mut wcoj_times: Vec<f64> = Vec::new();
+        let mut rows = 0usize;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let r = cnb_engine::execute_wcoj(&db, &q).expect("wcoj executes");
+            wcoj_times.push(start.elapsed().as_secs_f64());
+            rows = r.rows.len();
+        }
+        wcoj_times.sort_by(f64::total_cmp);
+        let wedge_best = res
+            .plans
+            .iter()
+            .filter(|p| !p.physical_used.is_empty())
+            .map(|p| {
+                let mut times: Vec<f64> = Vec::new();
+                for _ in 0..reps {
+                    let start = Instant::now();
+                    let r = cnb_engine::execute(&db, &p.query).expect("wedge plan executes");
+                    times.push(start.elapsed().as_secs_f64());
+                    // Answer multiplicity differs (the view dedups wedges);
+                    // set-equality is the differential suite's job.
+                    std::hint::black_box(r.rows.len());
+                }
+                times.sort_by(f64::total_cmp);
+                times[times.len() / 2]
+            })
+            .fold(f64::INFINITY, f64::min);
+        let comma = if i + 1 < dists.len() { "," } else { "" };
+        println!(
+            "    {{\"name\": \"ec5_tri_wcoj/{label}\", \"edges\": {wcoj_edges}, \"rows\": {rows}, \"wcoj_median_secs\": {:.6}, \"best_wedge_median_secs\": {wedge_best:.6}}}{comma}",
+            wcoj_times[wcoj_times.len() / 2]
         );
     }
     println!("  ],");

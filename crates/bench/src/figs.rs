@@ -698,12 +698,21 @@ pub fn fig12_ec5_cyclic(scale: Scale, edges: usize) -> String {
                 exec.stats.elapsed
             })
             .min();
+        // The generic-join operator on the same query: variable-at-a-time
+        // leapfrog intersection, intermediates certified within N^(3/2).
+        let wcoj = cnb_engine::execute_wcoj(&db, &q).expect("wcoj executes");
+        assert_eq!(
+            wcoj.rows.len(),
+            original.rows.len(),
+            "wcoj differs from the binary engine"
+        );
         table.push(vec![
             label.to_string(),
             format!("{}", db.table(ec5.wedge()).len()),
             format!("{}", original.rows.len()),
             secs(original.stats.elapsed),
             cell(wedge_best.map(secs)),
+            secs(wcoj.stats.elapsed),
             format!("{:.6}", model.join_selectivity),
         ]);
     }
@@ -717,6 +726,7 @@ pub fn fig12_ec5_cyclic(scale: Scale, edges: usize) -> String {
             "triangles",
             "edge-plan time (s)",
             "best wedge-plan time (s)",
+            "wcoj time (s)",
             "measured join selectivity",
         ],
         &table,

@@ -3,12 +3,15 @@
 //!
 //! The top-down backchase finds a first plan fast but cannot prune by cost
 //! (a later removal might still improve a subquery). The bottom-up variant
-//! assembles candidates from small binding subsets upward; since adding a
-//! binding can only *increase* the estimated cost, any candidate whose cost
-//! already exceeds the best equivalent plan found so far can be pruned with
-//! its entire up-set. The paper suggests combining both: run top-down to get
-//! a first plan, then bottom-up with its cost as the initial bound — which
-//! is what [`bottom_up_backchase`] does when given a `seed_bound`.
+//! assembles candidates from small binding subsets upward; when the
+//! [`PlanPricer`] is *monotone* — adding a binding can only increase the
+//! estimate, as with the plain left-deep `CostModel` — any candidate whose
+//! price already exceeds the best equivalent plan found so far can be
+//! pruned with its entire up-set. A non-monotone pricer (the WCOJ-aware
+//! one) still prunes the candidate itself but keeps growing its supersets.
+//! The paper suggests combining both searches: run top-down to get a first
+//! plan, then bottom-up with its cost as the initial bound — which is what
+//! [`bottom_up_backchase`] does when given a `seed_bound`.
 
 use crate::fxhash::FxHashSet;
 use std::time::Instant;
@@ -19,19 +22,22 @@ use crate::backchase::{BackchaseConfig, BackchaseResult, Plan};
 use crate::bitset::VarSet;
 use crate::canon::CanonDb;
 use crate::chase::chase;
-use crate::cost::CostModel;
+use crate::cost::PlanPricer;
 use crate::equivalence::EquivChecker;
 use crate::subquery::induce_subquery_pure;
 
 /// Runs chase + bottom-up backchase. Candidates are enumerated by size
 /// (1, 2, …); the first equivalent candidates found are the minimal plans.
-/// When `cost_bound` is set, candidates costlier than the bound are pruned
-/// together with all their supersets (cost is monotone in the binding set).
+/// When `seed_bound` is set, candidates pricier than the bound are pruned:
+/// under a monotone [`PlanPricer`] (the plain `CostModel`) together with
+/// their whole up-set, under a non-monotone one (the WCOJ-aware pricer,
+/// where a superset may price *cheaper* than its parts) only the candidate
+/// itself — its supersets keep growing.
 pub fn bottom_up_backchase(
     q0: &Query,
     constraints: &[Constraint],
     cfg: &BackchaseConfig,
-    model: &CostModel,
+    pricer: &dyn PlanPricer,
     seed_bound: Option<f64>,
 ) -> BackchaseResult {
     // Stats-only timing plus an optional deadline; neither affects plan
@@ -99,10 +105,16 @@ pub fn bottom_up_backchase(
                 grow(&mut next, &mut seen);
                 continue;
             };
-            // Cost-based pruning: cost grows with the binding set.
-            let cost = model.cost(&cand);
+            // Cost-based pruning. Only a monotone pricer may drop the
+            // up-set with the candidate: under a WCOJ-aware price, a
+            // superset can price below its parts (two triangle edges cost
+            // N², the full triangle N^{3/2}), so its children must grow.
+            let cost = pricer.price(&cand);
             if cost > best_cost {
                 result.pruned += 1;
+                if !pricer.monotone() {
+                    grow(&mut next, &mut seen);
+                }
                 continue;
             }
             result.explored += 1;
@@ -141,6 +153,7 @@ pub fn bottom_up_backchase(
 mod tests {
     use super::*;
     use crate::backchase::chase_and_backchase;
+    use crate::cost::CostModel;
     use cnb_ir::prelude::*;
 
     fn index_schema(n: usize) -> Schema {
@@ -228,6 +241,45 @@ mod tests {
             .plans
             .iter()
             .all(|p| model.cost(&p.query) <= cheapest + 1e-9));
+    }
+
+    /// A non-monotone (WCOJ-aware) pricer keeps growing pruned candidates:
+    /// the triangle's 2-edge subsets price above an AGM-tight bound, yet
+    /// the full triangle prices *below* it — so the plan is only reachable
+    /// if pruning does not drop the up-set. A monotone pricer at the same
+    /// bound loses the plan entirely.
+    #[test]
+    fn non_monotone_pricer_grows_through_pruned_candidates() {
+        use crate::cost::{PlanPricer, WcojAwarePricer};
+        let mut schema = Schema::new();
+        schema.add_relation("E", [(sym("S"), Type::Int), (sym("T"), Type::Int)]);
+        let mut q = Query::new();
+        let e1 = q.bind("e1", Range::Name(sym("E")));
+        let e2 = q.bind("e2", Range::Name(sym("E")));
+        let e3 = q.bind("e3", Range::Name(sym("E")));
+        q.equate(PathExpr::from(e1).dot("T"), PathExpr::from(e2).dot("S"));
+        q.equate(PathExpr::from(e2).dot("T"), PathExpr::from(e3).dot("S"));
+        q.equate(PathExpr::from(e3).dot("T"), PathExpr::from(e1).dot("S"));
+        q.output("N1", PathExpr::from(e1).dot("S"));
+
+        let mut model = CostModel::default().with_cardinality(sym("E"), 600.0);
+        model.observe_join_selectivity(0.1); // skew: most probes match
+        let pricer = WcojAwarePricer {
+            schema: &schema,
+            model: &model,
+        };
+        let bound = pricer.price(&q); // the AGM price: Σ|E| + |E|^{3/2}
+        let cfg = BackchaseConfig::default();
+
+        let aware = bottom_up_backchase(&q, &[], &cfg, &pricer, Some(bound));
+        assert_eq!(aware.plans.len(), 1, "the triangle itself survives");
+        assert!(aware.pruned > 0, "2-edge candidates were pruned");
+
+        let monotone = bottom_up_backchase(&q, &[], &cfg, &model, Some(bound));
+        assert!(
+            monotone.plans.is_empty(),
+            "up-set pruning under a monotone pricer loses the plan"
+        );
     }
 
     /// Supersets of found plans are skipped (minimality).

@@ -8,7 +8,9 @@
 //! textbook left-deep cost estimate for choosing a plan to execute.
 
 use crate::fxhash::FxHashMap;
-use cnb_ir::prelude::{Query, Range, Schema, Symbol};
+use cnb_ir::prelude::{
+    generic_join_supported, wcoj_gap, Query, Range, Schema, Symbol, WcojAnalysis,
+};
 
 /// Statistics + estimation parameters.
 ///
@@ -124,10 +126,18 @@ impl CostModel {
             .unwrap_or(self.default_cardinality)
     }
 
-    /// Estimated cost of a left-deep evaluation in from-clause order: the
-    /// sum of intermediate result sizes. Each binding contributes its range
-    /// cardinality, discounted by the join selectivity once per where-clause
-    /// equality that connects it to earlier bindings.
+    /// The stored (or default) cardinality estimate for a collection.
+    pub fn estimated_cardinality(&self, name: Symbol) -> f64 {
+        self.card(name)
+    }
+
+    /// Estimated cost of a left-deep evaluation in from-clause order: each
+    /// binding contributes its *input* cost — the rows scanned (or, for a
+    /// hash join, built) from its range — plus the intermediate result it
+    /// produces, discounted by the join selectivity once per where-clause
+    /// equality that connects it to earlier bindings. Without the input
+    /// term, probing a huge pre-materialized collection would be priced as
+    /// free whenever the probe output is small.
     pub fn cost(&self, q: &Query) -> f64 {
         let mut bound: Vec<cnb_ir::prelude::Var> = Vec::new();
         let mut running = 1.0f64;
@@ -151,10 +161,30 @@ impl CostModel {
             }
             let sel = self.join_selectivity.powi(connecting as i32);
             running = (running * base * sel).max(1.0);
-            total += running;
+            total += base + running;
             bound.push(b.var);
         }
         total
+    }
+
+    /// Estimated cost of a generic-join (worst-case optimal) execution
+    /// priced from its cover certificate: the input cost of sorting/
+    /// indexing each scanned collection (`Σ |R_e|`) plus the AGM output
+    /// bound (`Π |R_e|^{w_e}`), which bounds every intermediate of the
+    /// variable-at-a-time enumeration (NPRR). The left-deep estimator has
+    /// no rule for an n-ary intersection; this is its counterpart.
+    pub fn cost_wcoj(&self, analysis: &WcojAnalysis) -> f64 {
+        let mut input = 0.0f64;
+        let mut bound = 1.0f64;
+        for e in &analysis.cover {
+            let card = e
+                .relation
+                .map_or(self.default_cardinality, |r| self.card(r))
+                .max(1.0);
+            input += card;
+            bound *= card.powf(e.weight.to_f64());
+        }
+        input + bound
     }
 
     /// The paper's "best plan first" heuristic score: more physical
@@ -167,6 +197,75 @@ impl CostModel {
             .filter(|b| matches!(b.range.anchor(), Some(a) if schema.is_physical(a)))
             .count() as i64;
         (-(physical), q.from.len() as i64)
+    }
+}
+
+/// A generic-join candidacy check shared by pricing and plan emission:
+/// the query must have the supported flat-join shape, range only over
+/// *logical* collections (a plan leaning on a physical structure keeps its
+/// left-deep pricing — the structure is the point of the plan), and have a
+/// certified WCOJ gap (no binary order meets the AGM bound). Analysis
+/// failures (e.g. malformed subqueries mid-search) simply mean "not a
+/// candidate".
+pub fn wcoj_candidate(schema: &Schema, q: &Query) -> Option<WcojAnalysis> {
+    if !generic_join_supported(schema, q) {
+        return None;
+    }
+    let physical = q
+        .from
+        .iter()
+        .any(|b| matches!(b.range.anchor(), Some(a) if schema.is_physical(a)));
+    if physical {
+        return None;
+    }
+    wcoj_gap(schema, q).ok().flatten()
+}
+
+/// Prices candidate plans during backchase search.
+///
+/// The plain [`CostModel`] left-deep estimate is *monotone* in the binding
+/// set — adding a binding never cheapens a candidate — which is what makes
+/// bottom-up cost pruning sound: a too-expensive candidate's entire up-set
+/// can be dropped. A WCOJ-aware price is **not** monotone (two triangle
+/// edges price `N²`, all three price `N^{3/2}`), so pricers declare their
+/// monotonicity and the search only up-set-prunes under a monotone pricer.
+pub trait PlanPricer {
+    /// Estimated execution cost of the candidate (lower is better).
+    fn price(&self, q: &Query) -> f64;
+    /// True when `price` can only grow as bindings are added.
+    fn monotone(&self) -> bool {
+        true
+    }
+}
+
+impl PlanPricer for CostModel {
+    fn price(&self, q: &Query) -> f64 {
+        self.cost(q)
+    }
+}
+
+/// A pricer that knows about the generic-join operator: a candidate with a
+/// certified WCOJ gap is priced at the *cheaper* of its left-deep estimate
+/// and its AGM-bound cost, because the engine will get to execute it with
+/// the multiway intersection. Non-monotone by construction.
+pub struct WcojAwarePricer<'a> {
+    /// Schema, for shape/physical gating and hypergraph construction.
+    pub schema: &'a Schema,
+    /// The measured model supplying cardinalities and selectivities.
+    pub model: &'a CostModel,
+}
+
+impl PlanPricer for WcojAwarePricer<'_> {
+    fn price(&self, q: &Query) -> f64 {
+        let left_deep = self.model.cost(q);
+        match wcoj_candidate(self.schema, q) {
+            Some(a) => left_deep.min(self.model.cost_wcoj(&a)),
+            None => left_deep,
+        }
+    }
+
+    fn monotone(&self) -> bool {
+        false
     }
 }
 
@@ -304,5 +403,136 @@ mod tests {
         idx.output("K", PathExpr::from(k));
 
         assert!(model.heuristic_rank(&schema, &idx) < model.heuristic_rank(&schema, &scan));
+    }
+
+    #[test]
+    fn probing_a_huge_collection_is_not_free() {
+        // The input term: scanning/probing a 1e6-row view costs at least
+        // its size even when the probe output is tiny.
+        let model = CostModel::default().with_cardinality(sym("HUGE"), 1e6);
+        let mut q = Query::new();
+        let v = q.bind("v", Range::Name(sym("HUGE")));
+        q.output("X", PathExpr::from(v).dot("X"));
+        assert!(model.cost(&q) >= 1e6);
+    }
+
+    fn triangle_query() -> Query {
+        let mut q = Query::new();
+        let e1 = q.bind("e1", Range::Name(sym("E")));
+        let e2 = q.bind("e2", Range::Name(sym("E")));
+        let e3 = q.bind("e3", Range::Name(sym("E")));
+        q.equate(PathExpr::from(e1).dot("T"), PathExpr::from(e2).dot("S"));
+        q.equate(PathExpr::from(e2).dot("T"), PathExpr::from(e3).dot("S"));
+        q.equate(PathExpr::from(e3).dot("T"), PathExpr::from(e1).dot("S"));
+        q.output("N1", PathExpr::from(e1).dot("S"));
+        q
+    }
+
+    fn edge_schema_with_wedge() -> Schema {
+        let mut schema = Schema::new();
+        schema.add_relation("E", [(sym("S"), Type::Int), (sym("T"), Type::Int)]);
+        let mut def = Query::new();
+        let e1 = def.bind("e1", Range::Name(sym("E")));
+        let e2 = def.bind("e2", Range::Name(sym("E")));
+        def.equate(PathExpr::from(e1).dot("T"), PathExpr::from(e2).dot("S"));
+        def.output("S", PathExpr::from(e1).dot("S"));
+        def.output("M", PathExpr::from(e1).dot("T"));
+        def.output("T", PathExpr::from(e2).dot("T"));
+        add_materialized_view(&mut schema, "W", &def);
+        schema
+    }
+
+    /// The satellite fix pinned: an n-ary intersection is *not* priced as
+    /// a scan — under skewed observed stats (a wedge view quadratically
+    /// larger than the edge table) the WCOJ price `Σ|E| + |E|^{3/2}`
+    /// undercuts the wedge-probe plan, while under uniform stats the
+    /// wedge plan stays cheaper. The two plans must never price equal.
+    #[test]
+    fn wedge_and_wcoj_price_differently_under_skewed_stats() {
+        let schema = edge_schema_with_wedge();
+        let tri = triangle_query();
+        let analysis = wcoj_candidate(&schema, &tri).expect("triangle has a certified gap");
+
+        // Wedge-probe plan: scan W, close the cycle against E.
+        let mut wedge = Query::new();
+        let w = wedge.bind("w", Range::Name(sym("W")));
+        let e3 = wedge.bind("e3", Range::Name(sym("E")));
+        wedge.equate(PathExpr::from(w).dot("T"), PathExpr::from(e3).dot("S"));
+        wedge.equate(PathExpr::from(e3).dot("T"), PathExpr::from(w).dot("S"));
+        wedge.output("N1", PathExpr::from(w).dot("S"));
+
+        // Skewed observations: |E| = 600, |W| = 26k (hub wedges).
+        let skewed = CostModel::default()
+            .with_cardinality(sym("E"), 600.0)
+            .with_cardinality(sym("W"), 26_000.0);
+        let wcoj_price = skewed.cost_wcoj(&analysis);
+        let wedge_price = skewed.cost(&wedge);
+        assert!(
+            wcoj_price < wedge_price,
+            "skewed: wcoj {wcoj_price} vs wedge {wedge_price}"
+        );
+        let expected = 3.0 * 600.0 + 600.0f64.powf(1.5);
+        assert!((wcoj_price - expected).abs() < 1e-6, "Σ|E| + |E|^ρ*");
+
+        // Uniform observations: |W| ≈ |E|²/N stays small.
+        let uniform = CostModel::default()
+            .with_cardinality(sym("E"), 600.0)
+            .with_cardinality(sym("W"), 3_600.0);
+        assert!(
+            uniform.cost(&wedge) < uniform.cost_wcoj(&analysis),
+            "uniform data keeps the wedge probe cheaper"
+        );
+    }
+
+    #[test]
+    fn wcoj_candidacy_gates_on_shape_and_physical_scans() {
+        let schema = edge_schema_with_wedge();
+        // The base triangle qualifies…
+        assert!(wcoj_candidate(&schema, &triangle_query()).is_some());
+        // …a plan ranging over the physical view does not…
+        let mut viewed = Query::new();
+        let w = viewed.bind("w", Range::Name(sym("W")));
+        viewed.output("S", PathExpr::from(w).dot("S"));
+        assert!(wcoj_candidate(&schema, &viewed).is_none());
+        // …and neither does a gap-free chain.
+        let mut chain = Query::new();
+        let a = chain.bind("a", Range::Name(sym("E")));
+        let b = chain.bind("b", Range::Name(sym("E")));
+        chain.equate(PathExpr::from(a).dot("T"), PathExpr::from(b).dot("S"));
+        chain.output("S", PathExpr::from(a).dot("S"));
+        assert!(wcoj_candidate(&schema, &chain).is_none());
+    }
+
+    #[test]
+    fn wcoj_aware_pricer_is_declared_non_monotone() {
+        let schema = edge_schema_with_wedge();
+        let model = CostModel::default().with_cardinality(sym("E"), 600.0);
+        let pricer = WcojAwarePricer {
+            schema: &schema,
+            model: &model,
+        };
+        assert!(!pricer.monotone());
+        assert!(PlanPricer::monotone(&model));
+        // On the triangle the aware price is the (cheaper) AGM price…
+        let tri = triangle_query();
+        let a = wcoj_candidate(&schema, &tri).unwrap();
+        assert_eq!(
+            pricer.price(&tri),
+            model.cost(&tri).min(model.cost_wcoj(&a))
+        );
+        // …and the non-monotonicity is real: the 2-edge sub-join prices
+        // *higher* than the full triangle under these stats.
+        let mut two = Query::new();
+        let e1 = two.bind("e1", Range::Name(sym("E")));
+        let e2 = two.bind("e2", Range::Name(sym("E")));
+        two.equate(PathExpr::from(e1).dot("T"), PathExpr::from(e2).dot("S"));
+        two.output("N1", PathExpr::from(e1).dot("S"));
+        let mut flat = CostModel::default().with_cardinality(sym("E"), 600.0);
+        flat.observe_join_selectivity(0.1); // hub-heavy: most probes match
+        let sub_pricer = WcojAwarePricer {
+            schema: &schema,
+            model: &flat,
+        };
+        assert!(sub_pricer.price(&two) > sub_pricer.price(&tri));
     }
 }

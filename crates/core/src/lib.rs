@@ -49,12 +49,14 @@ pub mod prelude {
     pub use crate::canon::CanonDb;
     pub use crate::chase::{chase, chase_query, ChaseConfig, ChaseStats};
     pub use crate::congruence::{Congruence, Savepoint, TermId, TermNode};
-    pub use crate::cost::CostModel;
+    pub use crate::cost::{wcoj_candidate, CostModel, PlanPricer, WcojAwarePricer};
     pub use crate::equivalence::{same_plan, EquivChecker};
     pub use crate::fragments::{decompose, Fragment};
     pub use crate::fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
     pub use crate::homomorphism::{find_homs, hom_exists, HomConfig, HomMap};
-    pub use crate::optimizer::{OptimizeResult, Optimizer, OptimizerConfig, PlanInfo, Strategy};
+    pub use crate::optimizer::{
+        plan_price, OptimizeResult, Optimizer, OptimizerConfig, PlanInfo, Strategy,
+    };
     pub use crate::parallel::{map_chunked, map_chunked_with, resolve_threads, WorkQueue};
     pub use crate::serving::{
         bind_params, constraint_digest, parameterize, unbound_param, CachedPlans, Fingerprint,

@@ -7,11 +7,12 @@
 
 use std::time::{Duration, Instant};
 
-use cnb_ir::prelude::{Constraint, Query, Schema, Symbol};
+use cnb_ir::prelude::{Constraint, ExecStrategy, Query, Schema, Symbol, WcojAnalysis};
 
 use crate::backchase::{chase_and_backchase, BackchaseConfig};
+use crate::bottomup::bottom_up_backchase;
 use crate::chase::ChaseStats;
-use crate::cost::CostModel;
+use crate::cost::{wcoj_candidate, CostModel, WcojAwarePricer};
 use crate::fragments::{combine_plans, decompose};
 use crate::strata::{regroup, stratify};
 
@@ -86,6 +87,13 @@ pub struct PlanInfo {
     pub physical_used: Vec<Symbol>,
     /// Number of from-clause bindings.
     pub arity: usize,
+    /// How the engine should execute this plan. A `Wcoj` entry is a *twin*
+    /// of a left-deep plan over the same query: same rows, but evaluated
+    /// variable-at-a-time with intermediates certified by `wcoj`'s cover.
+    pub strategy: ExecStrategy,
+    /// The certified gap analysis backing a `Wcoj` strategy (the AGM bound
+    /// and the full-query cover certificate); `None` for left-deep plans.
+    pub wcoj: Option<WcojAnalysis>,
 }
 
 /// The result of one optimization run.
@@ -109,6 +117,9 @@ pub struct OptimizeResult {
     pub fragments: usize,
     /// Number of OCS pipeline stages (1 when not stratifying).
     pub strata: usize,
+    /// Candidates dropped by cost-bound pruning
+    /// ([`Optimizer::optimize_measured`] only; 0 otherwise).
+    pub pruned: usize,
     /// Chase statistics (summed).
     pub chase_stats: ChaseStats,
 }
@@ -181,6 +192,7 @@ impl Optimizer {
             Strategy::Oqf => self.run_oqf(q, cfg),
             Strategy::Ocs => self.run_ocs(q, cfg),
         };
+        self.emit_wcoj_twins(&mut result.plans);
         result.total_time = start.elapsed();
         if cfg.sort_best_first {
             let model = CostModel::default();
@@ -189,6 +201,28 @@ impl Optimizer {
                 .sort_by_key(|p| model.heuristic_rank(&self.schema, &p.query));
         }
         result
+    }
+
+    /// Appends a generic-join twin for every emitted left-deep plan with a
+    /// *certified WCOJ gap* — no binary order of its bindings meets the
+    /// AGM bound (`cnb_ir::hypergraph::wcoj_gap`), so only the multiway
+    /// operator executes it within bound. The twin ranges over the same
+    /// query; its `wcoj` analysis carries the cover certificate.
+    fn emit_wcoj_twins(&self, plans: &mut Vec<PlanInfo>) {
+        let twins: Vec<PlanInfo> = plans
+            .iter()
+            .filter(|p| p.strategy == ExecStrategy::LeftDeep)
+            .filter_map(|p| {
+                wcoj_candidate(&self.schema, &p.query).map(|a| PlanInfo {
+                    query: p.query.clone(),
+                    physical_used: p.physical_used.clone(),
+                    arity: p.arity,
+                    strategy: ExecStrategy::Wcoj,
+                    wcoj: Some(a),
+                })
+            })
+            .collect();
+        plans.extend(twins);
     }
 
     fn plan_info(&self, query: Query) -> PlanInfo {
@@ -201,8 +235,79 @@ impl Optimizer {
         PlanInfo {
             arity: query.from.len(),
             physical_used,
+            strategy: ExecStrategy::LeftDeep,
+            wcoj: None,
             query,
         }
+    }
+
+    /// Optimizes `q` with the *measured* cost model in the loop, the
+    /// paper's §7 combined mode extended with the WCOJ-aware pricer:
+    ///
+    /// 1. run the configured strategy to get the minimal-plan set and seed
+    ///    the cost bound with its cheapest measured price;
+    /// 2. re-run the search bottom-up under a [`WcojAwarePricer`], pruning
+    ///    candidates the bound rules out *during* search (not post-hoc) —
+    ///    non-monotone-safely, so gapped cyclic cores are still reached;
+    /// 3. emit generic-join twins and rank everything by measured price
+    ///    (ties: heuristic rank, then canonical key, left-deep first).
+    ///
+    /// Falls back to the phase-1 plans if the bounded search returns none
+    /// (e.g. a timeout); `pruned` reports the candidates the bound dropped.
+    pub fn optimize_measured(
+        &self,
+        q: &Query,
+        cfg: &OptimizerConfig,
+        model: &CostModel,
+    ) -> OptimizeResult {
+        #[allow(clippy::disallowed_methods)]
+        let start = Instant::now(); // cnb-lint: allow(wall-clock)
+        let mut result = self.optimize(q, cfg);
+        let seed = result
+            .plans
+            .iter()
+            .map(|p| plan_price(model, p))
+            .fold(f64::INFINITY, f64::min);
+        let pricer = WcojAwarePricer {
+            schema: &self.schema,
+            model,
+        };
+        let bounded = bottom_up_backchase(
+            q,
+            &self.constraints,
+            &cfg.backchase,
+            &pricer,
+            seed.is_finite().then_some(seed),
+        );
+        result.pruned = bounded.pruned;
+        result.explored += bounded.explored;
+        result.chase_time += bounded.chase_time;
+        result.backchase_time += bounded.backchase_time;
+        result.timed_out |= bounded.timed_out;
+        if !bounded.plans.is_empty() {
+            result.plans = bounded
+                .plans
+                .into_iter()
+                .map(|p| self.plan_info(p.query))
+                .collect();
+            self.emit_wcoj_twins(&mut result.plans);
+        }
+        let schema = &self.schema;
+        result.plans.sort_by(|a, b| {
+            plan_price(model, a)
+                .total_cmp(&plan_price(model, b))
+                .then_with(|| {
+                    model
+                        .heuristic_rank(schema, &a.query)
+                        .cmp(&model.heuristic_rank(schema, &b.query))
+                })
+                .then_with(|| a.query.canonical_key().cmp(&b.query.canonical_key()))
+                .then_with(|| {
+                    (a.strategy == ExecStrategy::Wcoj).cmp(&(b.strategy == ExecStrategy::Wcoj))
+                })
+        });
+        result.total_time = start.elapsed();
+        result
     }
 
     fn run_full(&self, q: &Query, cfg: &OptimizerConfig) -> OptimizeResult {
@@ -335,6 +440,15 @@ impl Optimizer {
         }
         out.plans = pool.into_iter().map(|p| self.plan_info(p)).collect();
         out
+    }
+}
+
+/// The measured price of a plan under its execution strategy: the AGM
+/// cover price for a generic-join plan, the left-deep estimate otherwise.
+pub fn plan_price(model: &CostModel, plan: &PlanInfo) -> f64 {
+    match (&plan.strategy, &plan.wcoj) {
+        (ExecStrategy::Wcoj, Some(a)) => model.cost_wcoj(a),
+        _ => model.cost(&plan.query),
     }
 }
 

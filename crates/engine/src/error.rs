@@ -49,6 +49,13 @@ pub enum ExecError {
         /// The missing attribute.
         attribute: Symbol,
     },
+    /// The generic-join (WCOJ) executor was asked to run a query outside
+    /// its supported shape: a binding that does not range over a named
+    /// relation, or an equality side that is not a flat `binding.attr`
+    /// term or constant. The optimizer's WCOJ plan twins are gated on the
+    /// same shape check, so reaching this from a planned execution is a
+    /// dispatch bug.
+    GenericJoinUnsupported(String),
 }
 
 impl fmt::Display for ExecError {
@@ -70,6 +77,9 @@ impl fmt::Display for ExecError {
                 relation,
                 attribute,
             } => write!(f, "{relation} row lacks attribute {attribute}"),
+            ExecError::GenericJoinUnsupported(msg) => {
+                write!(f, "generic join unsupported: {msg}")
+            }
         }
     }
 }

@@ -152,7 +152,7 @@ pub struct ExecResult {
 /// template reaching the executor means the serving path's bind step was
 /// skipped (or the parameter vector was short), and treating `?k` as data
 /// would silently produce wrong — usually empty — results.
-fn reject_unbound_params(q: &Query) -> Result<(), ExecError> {
+pub(crate) fn reject_unbound_params(q: &Query) -> Result<(), ExecError> {
     match cnb_core::serving::unbound_param(q) {
         Some(k) => Err(ExecError::UnboundParam(k)),
         None => Ok(()),

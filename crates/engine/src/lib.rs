@@ -25,6 +25,7 @@ mod join;
 pub mod pressure;
 pub mod prng;
 pub mod serving;
+pub mod wcoj;
 
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use database::{Database, OrderedDict};
@@ -32,3 +33,4 @@ pub use error::{ExecError, ServeError};
 pub use eval::{execute, execute_legacy, feed_cost_model, ExecResult, ExecStats, OpStats};
 pub use pressure::{Fault, FaultPlan, ServeConfig};
 pub use serving::{PlanServer, PressureTally, ServeOutcome, ServedPlan, ServedResult};
+pub use wcoj::{cmp_value, execute_wcoj};

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod constraint;
+pub mod cover;
 pub mod fxhash;
 pub mod hypergraph;
 pub mod parser;
@@ -52,8 +53,12 @@ pub mod value;
 /// One-stop imports for downstream crates.
 pub mod prelude {
     pub use crate::constraint::{Constraint, ConstraintKind, PhysicalSpec, Skeleton};
+    pub use crate::cover::{cover_lp, verify_cover, CoverError, CoverLp, Rat};
     pub use crate::fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-    pub use crate::hypergraph::{prefix_hypergraph, query_hypergraph, HyperEdge, QueryHypergraph};
+    pub use crate::hypergraph::{
+        generic_join_supported, prefix_hypergraph, query_hypergraph, subset_hypergraph, wcoj_gap,
+        CoverEdge, ExecStrategy, HyperEdge, QueryHypergraph, WcojAnalysis,
+    };
     pub use crate::parser::{parse_constraint, parse_query, ParseError};
     pub use crate::path::{Equality, PathExpr, Var};
     pub use crate::physical::{

@@ -5,7 +5,7 @@
 //! attribute `N`. Chain queries join `R_i.N = R_{i+1}.K` (fig. 4) and return
 //! all key attributes. Scaling parameters: `n` and `m = n + j` indexes.
 
-use crate::workload::{AgmExpectation, DataScale, Expectations, Workload};
+use crate::workload::{AgmExpectation, DataScale, Expectations, RankExpectation, Workload};
 use cnb_core::prelude::Strategy;
 use cnb_ir::prelude::*;
 
@@ -144,6 +144,7 @@ impl Workload for Ec1 {
             nonempty_at_smoke: true,
             // A key chain is acyclic: every rewrite joins along keys.
             agm: AgmExpectation::Certified,
+            rank: RankExpectation::Any,
         }
     }
 }

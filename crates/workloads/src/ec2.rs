@@ -9,7 +9,7 @@
 //! hub key has a key constraint. Query size is `s(c+1)`; constraint count is
 //! `s(1 + 2v)`.
 
-use crate::workload::{AgmExpectation, DataScale, Expectations, Workload};
+use crate::workload::{AgmExpectation, DataScale, Expectations, RankExpectation, Workload};
 use cnb_core::prelude::Strategy;
 use cnb_ir::prelude::*;
 
@@ -241,6 +241,7 @@ impl Workload for Ec2 {
             nonempty_at_smoke: true,
             // Chained stars are acyclic; view plans unfold within bound.
             agm: AgmExpectation::Certified,
+            rank: RankExpectation::Any,
         }
     }
 }

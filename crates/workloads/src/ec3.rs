@@ -9,7 +9,7 @@
 //! so that plans using them are only reachable after the semantic
 //! (inverse-flipping) optimization phase.
 
-use crate::workload::{AgmExpectation, DataScale, Expectations, Workload};
+use crate::workload::{AgmExpectation, DataScale, Expectations, RankExpectation, Workload};
 use cnb_core::prelude::Strategy;
 use cnb_ir::prelude::*;
 
@@ -239,6 +239,7 @@ impl Workload for Ec3 {
             nonempty_at_smoke: true,
             // Dictionary navigation chains are acyclic.
             agm: AgmExpectation::Certified,
+            rank: RankExpectation::Any,
         }
     }
 }

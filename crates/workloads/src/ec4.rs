@@ -14,7 +14,7 @@
 //! for: it stresses exactly the materialized-view/index rewrites the
 //! backchase was built around, at warehouse-shaped fan-outs.
 
-use crate::workload::{AgmExpectation, DataScale, Expectations, Workload};
+use crate::workload::{AgmExpectation, DataScale, Expectations, RankExpectation, Workload};
 use cnb_core::prelude::Strategy;
 use cnb_ir::prelude::*;
 
@@ -245,6 +245,7 @@ impl Workload for Ec4 {
             nonempty_at_smoke: true,
             // A star schema is acyclic: the fact scan covers the hub.
             agm: AgmExpectation::Certified,
+            rank: RankExpectation::Any,
         }
     }
 }

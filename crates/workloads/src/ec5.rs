@@ -14,7 +14,7 @@
 //! Khamis–Ngo–Suciu, PAPERS.md) separate wedge-based plans from edge-only
 //! ones.
 
-use crate::workload::{AgmExpectation, DataScale, Expectations, Workload};
+use crate::workload::{AgmExpectation, DataScale, Expectations, RankExpectation, Workload};
 use cnb_core::prelude::Strategy;
 use cnb_engine::datagen::EdgeDist;
 use cnb_ir::prelude::*;
@@ -243,6 +243,19 @@ impl Workload for Ec5 {
         })
     }
 
+    fn generate_skewed_at(&self, scale: DataScale) -> Option<cnb_engine::Database> {
+        // Hub-heavy endpoints on a denser graph: two-hop paths (wedges)
+        // multiply superlinearly while the edge count stays `3·rows`, so
+        // every binary order pays an `N²`-ish intermediate the AGM-bounded
+        // generic join never materializes.
+        Some(self.generate(Ec5DataSpec {
+            nodes: (scale.rows / 4).max(2),
+            edges: scale.rows * 3,
+            dist: EdgeDist::Skewed(3.0),
+            seed: scale.seed,
+        }))
+    }
+
     fn serving_query(&self, scale: DataScale, pick: u64) -> Query {
         // Cycles through one specific node: pin the first edge's source to
         // an id in the generated [0, nodes) endpoint space.
@@ -261,13 +274,21 @@ impl Workload for Ec5 {
             min_plans: if self.wedge_view { 1 + self.cycle } else { 1 },
             physical_plan: self.wedge_view,
             nonempty_at_smoke: true,
-            // Odd cycles (AGM bound `cycle/2`) defeat every binary join
+            // Odd cycles (AGM bound `cycle/2`) defeat every *binary* join
             // order — any two adjacent edges (or one unfolded wedge view)
-            // already cost N²; even cycles meet their bound as chains.
+            // already cost N²; the optimizer's generic-join twin closes
+            // that gap, so the verdict is wcoj-closed, and under skew the
+            // measured ranking must put the twin first. Even cycles meet
+            // their bound as chains.
             agm: if self.cycle % 2 == 1 {
-                AgmExpectation::WcojNeeded
+                AgmExpectation::WcojClosed
             } else {
                 AgmExpectation::Certified
+            },
+            rank: if self.cycle % 2 == 1 {
+                RankExpectation::WcojFirstUnderSkew
+            } else {
+                RankExpectation::Any
             },
         }
     }

@@ -53,16 +53,37 @@ impl DataScale {
 ///
 /// `Certified` means every emitted plan's worst binding-order prefix stays
 /// within the central query's fractional-edge-cover bound (acyclic
-/// families: EC1–EC4). `WcojNeeded` means no plan over *base* scans meets
-/// the bound (cyclic EC5) — any within-bound plan leans on a
-/// pre-materialized superlinear structure, so meeting the bound on the
-/// data itself takes a worst-case-optimal multiway join.
+/// families: EC1–EC4). `WcojClosed` means no *left-deep* plan over base
+/// scans meets the bound, but the optimizer's generic-join (WCOJ) plan
+/// twin does — its intermediates are capped at `N^{ρ*}` by construction,
+/// with the full-query fractional edge cover as the certificate (cyclic
+/// EC5 since the WCOJ operator landed). `WcojNeeded` means no emitted
+/// base plan of *any* kind meets the bound — the gap is real and still
+/// open (a cyclic family whose optimizer produces only binary orders).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AgmExpectation {
     /// All plans within the query's AGM bound.
     Certified,
-    /// No base-scan plan within the bound: the shape needs a WCOJ operator.
+    /// Left-deep base plans exceed the bound; the WCOJ plan twin meets it.
+    WcojClosed,
+    /// No base plan of any kind within the bound: the shape needs a WCOJ
+    /// operator the optimizer does not emit.
     WcojNeeded,
+}
+
+/// Which plan the *measured* WCOJ-aware ranking
+/// ([`cnb_core::prelude::Optimizer::optimize_measured`] after
+/// [`cnb_engine::feed_cost_model`]) must put first for the family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RankExpectation {
+    /// No first-plan pin beyond cost ordering itself.
+    Any,
+    /// A plan over a physical structure (index/view/ASR) ranks first.
+    PhysicalFirst,
+    /// On the family's skewed dataset ([`Workload::generate_skewed_at`])
+    /// the generic-join twin of a base-scan plan ranks first: skew inflates
+    /// every binary intermediate past the AGM-bounded WCOJ price.
+    WcojFirstUnderSkew,
 }
 
 /// Plan/row invariants a workload instance promises; the generic suites
@@ -83,6 +104,8 @@ pub struct Expectations {
     pub nonempty_at_smoke: bool,
     /// The AGM certification verdict the family's plans must earn.
     pub agm: AgmExpectation,
+    /// The plan the measured WCOJ-aware ranking must place first.
+    pub rank: RankExpectation,
 }
 
 /// One experimental configuration, generically drivable end to end:
@@ -101,6 +124,16 @@ pub trait Workload {
     /// Generates the seeded dataset and materializes every physical
     /// structure of [`Workload::schema`].
     fn generate_at(&self, scale: DataScale) -> Database;
+
+    /// The family's *skewed* dataset at `scale`, if it has one: the same
+    /// shape as [`Workload::generate_at`] but with hub-concentrated value
+    /// distributions — the regime where AGM-bounded (WCOJ) plans separate
+    /// from binary join orders. `None` for families whose generators have
+    /// no skew knob.
+    fn generate_skewed_at(&self, scale: DataScale) -> Option<Database> {
+        let _ = scale;
+        None
+    }
 
     /// The invariants this instance promises (see [`Expectations`]).
     fn expectations(&self) -> Expectations;

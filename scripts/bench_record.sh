@@ -2,10 +2,13 @@
 # Records the perf trajectory into JSON files at the repo root:
 # * BENCH_backchase.json — optimization-time numbers (fig. 6/7 workloads
 #   plus the EC4 star-schema and EC5 cyclic-join workloads of figs. 11/12,
-#   full backchase, 1/2/4 worker threads) plus two micro sections:
-#   micro.congruence (savepoint churn) and micro.execution (batched vs.
-#   tuple-at-a-time join throughput on the EC1 chain — the batched path
-#   must not be slower).
+#   full backchase, 1/2/4 worker threads), a wcoj section (ec5_tri_wcoj:
+#   the generic-join operator vs the best wedge-view plan on uniform and
+#   skewed triangle data — wcoj must win the skewed point, where the
+#   binary intermediate exceeds the certified AGM bound), and two micro
+#   sections: micro.congruence (savepoint churn) and micro.execution
+#   (batched vs. tuple-at-a-time join throughput on the EC1 chain — the
+#   batched path must not be slower).
 # * BENCH_serving.json — the serving path: closed-loop QPS and p50/p95/p99
 #   per-request latency for each EC1–EC5 parameterized serving mix plus the
 #   pooled mix, at 1/2/4 executor threads, with plan-cache hit rates; plus

@@ -65,6 +65,17 @@ for t in 1 4; do
     cost_observation_feedback_matches_arithmetic_mean
 done
 
+# WCOJ tier: the generic-join differential suite — answer-set equality
+# against both binary engines on uniform and power-law EC5 data, output
+# order a pure function of (db, plan) pinned by golden digests, and every
+# backchase-emitted generic-join twin re-verified against the static
+# validator and its fractional-cover certificate. The digest goldens make
+# the thread sweep meaningful: all four tiers must land on identical bytes.
+for t in 1 2 4 8; do
+  tier "CNB_THREADS=$t WCOJ differential suite"
+  CNB_THREADS=$t cargo test -q -p cnb-engine --test wcoj_differential
+done
+
 # Serving tier: the canonical-fingerprint plan cache and the executor
 # worker pool. The smoke suite pins the serving contract — row sets
 # identical at 1/2/4/8 executor threads, warm hits answering without chase
